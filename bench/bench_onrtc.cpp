@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark): the software costs behind TTF1 and
+// the offline compression pass — trie update, incremental ONRTC update,
+// full compression, and LPM lookup throughput.
+#include <benchmark/benchmark.h>
+
+#include "netbase/rng.hpp"
+#include "onrtc/compressed_fib.hpp"
+#include "engine/dred.hpp"
+#include "onrtc/onrtc.hpp"
+#include "rrcme/rrc_me.hpp"
+#include "trie/multibit_trie.hpp"
+#include "workload/rib_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace {
+
+clue::trie::BinaryTrie make_fib(std::size_t size) {
+  clue::workload::RibConfig config;
+  config.table_size = size;
+  config.seed = 42;
+  return clue::workload::generate_rib(config);
+}
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto fib = make_fib(static_cast<std::size_t>(state.range(0)));
+  clue::netbase::Pcg32 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.lookup(clue::netbase::Ipv4Address(rng.next())));
+  }
+}
+BENCHMARK(BM_TrieLookup)->Arg(10'000)->Arg(100'000);
+
+void BM_TrieUpdate_Plain(benchmark::State& state) {
+  auto fib = make_fib(static_cast<std::size_t>(state.range(0)));
+  clue::workload::UpdateConfig config;
+  config.seed = 9;
+  clue::workload::UpdateGenerator updates(fib, config);
+  for (auto _ : state) {
+    const auto msg = updates.next();
+    if (msg.kind == clue::workload::UpdateKind::kAnnounce) {
+      fib.insert(msg.prefix, msg.next_hop);
+    } else {
+      fib.erase(msg.prefix);
+    }
+  }
+}
+BENCHMARK(BM_TrieUpdate_Plain)->Arg(100'000);
+
+void BM_TrieUpdate_IncrementalOnrtc(benchmark::State& state) {
+  const auto fib = make_fib(static_cast<std::size_t>(state.range(0)));
+  clue::onrtc::CompressedFib compressed(fib);
+  clue::workload::UpdateConfig config;
+  config.seed = 9;
+  clue::workload::UpdateGenerator updates(fib, config);
+  for (auto _ : state) {
+    const auto msg = updates.next();
+    if (msg.kind == clue::workload::UpdateKind::kAnnounce) {
+      benchmark::DoNotOptimize(compressed.announce(msg.prefix, msg.next_hop));
+    } else {
+      benchmark::DoNotOptimize(compressed.withdraw(msg.prefix));
+    }
+  }
+}
+BENCHMARK(BM_TrieUpdate_IncrementalOnrtc)->Arg(100'000);
+
+void BM_FullCompression(benchmark::State& state) {
+  const auto fib = make_fib(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clue::onrtc::compress(fib));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fib.size()));
+}
+BENCHMARK(BM_FullCompression)->Arg(100'000)->Arg(400'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultibitLookup(benchmark::State& state) {
+  const auto fib = make_fib(static_cast<std::size_t>(state.range(0)));
+  clue::trie::MultibitTrie multibit;
+  fib.for_each_route([&multibit](const clue::netbase::Route& route) {
+    multibit.insert(route.prefix, route.next_hop);
+  });
+  clue::netbase::Pcg32 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        multibit.lookup(clue::netbase::Ipv4Address(rng.next())));
+  }
+}
+BENCHMARK(BM_MultibitLookup)->Arg(10'000)->Arg(100'000);
+
+void BM_MultibitUpdate(benchmark::State& state) {
+  const auto fib = make_fib(static_cast<std::size_t>(state.range(0)));
+  clue::trie::MultibitTrie multibit;
+  fib.for_each_route([&multibit](const clue::netbase::Route& route) {
+    multibit.insert(route.prefix, route.next_hop);
+  });
+  clue::workload::UpdateConfig config;
+  config.seed = 9;
+  clue::workload::UpdateGenerator updates(fib, config);
+  for (auto _ : state) {
+    const auto msg = updates.next();
+    if (msg.kind == clue::workload::UpdateKind::kAnnounce) {
+      multibit.insert(msg.prefix, msg.next_hop);
+    } else {
+      multibit.erase(msg.prefix);
+    }
+  }
+}
+BENCHMARK(BM_MultibitUpdate)->Arg(100'000);
+
+void BM_DredLookup(benchmark::State& state) {
+  clue::engine::DredStore dred(static_cast<std::size_t>(state.range(0)));
+  clue::netbase::Pcg32 rng(13);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    dred.insert(clue::netbase::Route{
+        clue::netbase::Prefix(clue::netbase::Ipv4Address(rng.next()), 24),
+        clue::netbase::make_next_hop(1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dred.lookup(clue::netbase::Ipv4Address(rng.next())));
+  }
+}
+BENCHMARK(BM_DredLookup)->Arg(1024)->Arg(16384);
+
+void BM_DredInsertEvict(benchmark::State& state) {
+  clue::engine::DredStore dred(1024);
+  clue::netbase::Pcg32 rng(17);
+  for (auto _ : state) {
+    dred.insert(clue::netbase::Route{
+        clue::netbase::Prefix(clue::netbase::Ipv4Address(rng.next()), 24),
+        clue::netbase::make_next_hop(1)});
+  }
+}
+BENCHMARK(BM_DredInsertEvict);
+
+void BM_RrcMeExpansion(benchmark::State& state) {
+  const auto fib = make_fib(100'000);
+  clue::netbase::Pcg32 rng(11);
+  // Sample addresses that actually have routes so the walk is realistic.
+  const auto routes = fib.routes();
+  for (auto _ : state) {
+    const auto& route = routes[rng.next_below(
+        static_cast<std::uint32_t>(routes.size()))];
+    benchmark::DoNotOptimize(
+        clue::rrcme::minimal_expansion(fib, route.prefix.range_low()));
+  }
+}
+BENCHMARK(BM_RrcMeExpansion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

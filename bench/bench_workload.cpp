@@ -1,0 +1,85 @@
+// Reproduces Table II: traffic share of 32 CLUE partitions and the
+// extremely uneven 4-TCAM mapping built by sorting partitions by load.
+//
+// Paper: rrc01 split into 32 even partitions; real-trace traffic share
+// per partition varies from 21.92 % down to 0.00 %; mapping the sorted
+// partitions 8-per-chip yields TCAM loads of 77.88 / 17.43 / 4.54 /
+// 0.16 % — the worst-case distribution Figures 15-16 then stress.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "engine/indexing_logic.hpp"
+#include "stats/stats.hpp"
+#include "workload/traffic_gen.hpp"
+
+int main() {
+  using clue::stats::percent;
+
+  constexpr std::size_t kBuckets = 32;
+  constexpr std::size_t kTcams = 4;
+  constexpr std::size_t kPackets = 2'000'000;
+
+  const auto& router = clue::workload::paper_routers().front();  // rrc01
+  const auto fib = clue::workload::generate_rib(router);
+  const auto table = clue::onrtc::compress(fib);
+  const auto partitions = clue::partition::even_partition(table, kBuckets);
+  const auto boundaries =
+      clue::partition::even_partition_boundaries(table, kBuckets);
+  std::vector<std::size_t> identity(kBuckets);
+  std::iota(identity.begin(), identity.end(), 0u);
+  // Indexing over 32 buckets (bucket == partition for this table).
+  std::vector<std::size_t> bucket_ids(kBuckets);
+  std::iota(bucket_ids.begin(), bucket_ids.end(), 0u);
+  const clue::engine::IndexingLogic indexing(boundaries, bucket_ids);
+
+  // Zipf traffic over the routed prefixes (CAIDA-trace stand-in).
+  clue::workload::TrafficConfig traffic_config;
+  traffic_config.seed = 20110217;
+  traffic_config.zipf_skew = 1.05;
+  traffic_config.cluster_locality = 0.95;
+  clue::workload::TrafficGenerator traffic(clue::bench::prefixes_of(table),
+                                           traffic_config);
+  std::vector<std::uint64_t> load(kBuckets, 0);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    ++load[indexing.bucket_of(traffic.next())];
+  }
+
+  // Sort partitions by load, deal 8 per TCAM (the paper's mapping).
+  std::vector<std::size_t> order(kBuckets);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&load](std::size_t a, std::size_t b) {
+    return load[a] > load[b];
+  });
+
+  std::cout << "=== Table II: workload on partitions and TCAM chips ("
+            << router.id << ", " << table.size() << " compressed routes, "
+            << kPackets << " packets) ===\n\n";
+  clue::stats::TablePrinter out({"TCAM", "Bucket", "RangeLow", "RangeHigh",
+                                 "%ofPartition", "%ofTCAM"});
+  for (std::size_t chip = 0; chip < kTcams; ++chip) {
+    double chip_share = 0;
+    for (std::size_t j = 0; j < kBuckets / kTcams; ++j) {
+      chip_share += static_cast<double>(load[order[chip * 8 + j]]);
+    }
+    chip_share /= static_cast<double>(kPackets);
+    for (std::size_t j = 0; j < kBuckets / kTcams; ++j) {
+      const std::size_t bucket = order[chip * 8 + j];
+      const auto& routes = partitions.buckets[bucket].routes;
+      out.add_row(
+          {j == 0 ? std::to_string(chip + 1) : "",
+           std::to_string(bucket),
+           routes.front().prefix.range_low().to_string(),
+           routes.back().prefix.range_high().to_string(),
+           percent(static_cast<double>(load[bucket]) /
+                   static_cast<double>(kPackets)),
+           j == 0 ? percent(chip_share) : ""});
+    }
+  }
+  out.print(std::cout);
+  std::cout << "\nExpected shape: a handful of partitions carry most of the\n"
+               "traffic; the sorted 8-per-chip mapping concentrates ~3/4 of\n"
+               "all load on TCAM 1 (paper: 77.88/17.43/4.54/0.16%).\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Optional CSV emission for the figure benches: set CLUE_CSV_DIR to a
+// writable directory and each bench drops its series there, ready for
+// gnuplot/matplotlib. Without the variable, benches only print tables.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hpp"
+
+namespace clue::bench {
+
+/// Writes `rows` under $CLUE_CSV_DIR/<name>.csv when the variable is
+/// set; reports the path on success. No-op otherwise.
+inline void maybe_write_csv(const std::string& name,
+                            const std::vector<std::string>& headers,
+                            const std::vector<std::vector<std::string>>& rows) {
+  const char* dir = std::getenv("CLUE_CSV_DIR");
+  if (!dir || !*dir) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "csv: cannot write " << path << "\n";
+    return;
+  }
+  stats::write_csv(out, headers, rows);
+  std::cout << "[csv] wrote " << path << "\n";
+}
+
+}  // namespace clue::bench

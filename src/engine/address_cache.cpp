@@ -1,0 +1,44 @@
+#include "engine/address_cache.hpp"
+
+#include <stdexcept>
+
+namespace clue::engine {
+
+AddressCache::AddressCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("AddressCache: capacity must be > 0");
+  }
+}
+
+std::optional<netbase::NextHop> AddressCache::lookup(
+    netbase::Ipv4Address address) {
+  ++stats_.lookups;
+  const auto it = index_.find(address.value());
+  if (it == index_.end()) return std::nullopt;
+  ++stats_.hits;
+  touch(it->second);
+  return it->second->next_hop;
+}
+
+void AddressCache::insert(netbase::Ipv4Address address,
+                          netbase::NextHop next_hop) {
+  if (const auto it = index_.find(address.value()); it != index_.end()) {
+    it->second->next_hop = next_hop;
+    touch(it->second);
+    return;
+  }
+  if (entries_.size() == capacity_) {
+    index_.erase(entries_.back().address);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{address.value(), next_hop});
+  index_[address.value()] = entries_.begin();
+  ++stats_.insertions;
+}
+
+void AddressCache::touch(std::list<Entry>::iterator it) {
+  entries_.splice(entries_.begin(), entries_, it);
+}
+
+}  // namespace clue::engine

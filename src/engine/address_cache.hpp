@@ -1,0 +1,60 @@
+// AddressCache — LRU cache of exact destination addresses.
+//
+// The alternative cache granularity the paper dismisses in §III-C
+// (citing Shyu/Chiueh/Talbot): caching full IPs instead of prefixes.
+// Each entry covers exactly one address, so the same capacity earns far
+// fewer hits than a prefix DRed. We implement it to measure that claim
+// (bench_cache_granularity) rather than take it on faith.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "netbase/prefix.hpp"
+
+namespace clue::engine {
+
+class AddressCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    double hit_rate() const {
+      return lookups ? static_cast<double>(hits) /
+                           static_cast<double>(lookups)
+                     : 0.0;
+    }
+  };
+
+  explicit AddressCache(std::size_t capacity);
+
+  /// Exact-match lookup; refreshes recency on hit.
+  std::optional<netbase::NextHop> lookup(netbase::Ipv4Address address);
+
+  /// Caches one address -> next hop binding, evicting the LRU entry.
+  void insert(netbase::Ipv4Address address, netbase::NextHop next_hop);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint32_t address;
+    netbase::NextHop next_hop;
+  };
+
+  void touch(std::list<Entry>::iterator it);
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace clue::engine

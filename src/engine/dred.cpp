@@ -1,0 +1,80 @@
+#include "engine/dred.hpp"
+
+#include <stdexcept>
+
+namespace clue::engine {
+
+DredStore::DredStore(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("DredStore: capacity must be > 0");
+  }
+}
+
+std::optional<NextHop> DredStore::lookup(Ipv4Address address) {
+  ++stats_.lookups;
+  const auto route = match_.lookup_route(address);
+  if (!route) return std::nullopt;
+  ++stats_.hits;
+  touch(index_.at(route->prefix));
+  return route->next_hop;
+}
+
+void DredStore::insert(const Route& route) {
+  if (const auto it = index_.find(route.prefix); it != index_.end()) {
+    it->second->next_hop = route.next_hop;
+    match_.insert(route.prefix, route.next_hop);
+    touch(it->second);
+    return;
+  }
+  if (entries_.size() == capacity_) {
+    const Route& victim = entries_.back();
+    match_.erase(victim.prefix);
+    index_.erase(victim.prefix);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(route);
+  index_[route.prefix] = entries_.begin();
+  match_.insert(route.prefix, route.next_hop);
+  ++stats_.insertions;
+}
+
+bool DredStore::erase(const Prefix& prefix) {
+  const auto it = index_.find(prefix);
+  if (it == index_.end()) return false;
+  entries_.erase(it->second);
+  index_.erase(it);
+  match_.erase(prefix);
+  ++stats_.erasures;
+  return true;
+}
+
+bool DredStore::contains(const Prefix& prefix) const {
+  return index_.contains(prefix);
+}
+
+std::vector<Prefix> DredStore::contents() const {
+  std::vector<Prefix> out;
+  out.reserve(entries_.size());
+  for (const auto& route : entries_) out.push_back(route.prefix);
+  return out;
+}
+
+std::vector<Prefix> DredStore::overlapping(const Prefix& prefix) const {
+  std::vector<Prefix> out;
+  // Ancestors (and the prefix itself): matches on the path to `prefix`.
+  match_.for_each_match(prefix.range_low(), [&](const Route& route) {
+    if (route.prefix.length() <= prefix.length()) out.push_back(route.prefix);
+  });
+  // Descendants: cached prefixes strictly inside `prefix`.
+  for (const auto& route : match_.routes_within(prefix)) {
+    if (route.prefix.length() > prefix.length()) out.push_back(route.prefix);
+  }
+  return out;
+}
+
+void DredStore::touch(std::list<Route>::iterator it) {
+  entries_.splice(entries_.begin(), entries_, it);
+}
+
+}  // namespace clue::engine

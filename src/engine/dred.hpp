@@ -1,0 +1,80 @@
+// DredStore — one TCAM's Dynamic Redundancy partition.
+//
+// An LRU-replaced store of prefixes with LPM matching, the structure the
+// paper carves out of each TCAM chip (Fig. 1). CLUE's novelty is a usage
+// rule, not a structure: DRed i never receives TCAM i's own prefixes,
+// because a packet homed at TCAM i is never diverted to DRed i — so the
+// same hit rate needs (N-1)/N of CLPL's capacity. That exclusion lives in
+// the engine's fill policy; the store itself is shared by both modes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::engine {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+class DredStore {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t erasures = 0;
+
+    double hit_rate() const {
+      return lookups ? static_cast<double>(hits) /
+                           static_cast<double>(lookups)
+                     : 0.0;
+    }
+  };
+
+  explicit DredStore(std::size_t capacity);
+
+  /// LPM over the cached prefixes; refreshes LRU position on hit.
+  std::optional<NextHop> lookup(Ipv4Address address);
+
+  /// Caches `route`, refreshing recency if already present (and updating
+  /// its next hop); evicts the least-recently-used entry when full.
+  void insert(const Route& route);
+
+  /// Exact-prefix removal (routing-update synchronisation, §IV-C).
+  bool erase(const Prefix& prefix);
+
+  bool contains(const Prefix& prefix) const;
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Cached prefixes (LRU order, most recent first) — RRC-ME's
+  /// invalidation scan needs the full contents.
+  std::vector<Prefix> contents() const;
+
+  /// Cached prefixes whose range intersects `prefix` (ancestors and
+  /// descendants). What a TCAM-style invalidation probe would flag.
+  std::vector<Prefix> overlapping(const Prefix& prefix) const;
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  void touch(std::list<Route>::iterator it);
+
+  std::size_t capacity_;
+  std::list<Route> entries_;  // front = most recently used
+  std::unordered_map<Prefix, std::list<Route>::iterator> index_;
+  trie::BinaryTrie match_;
+  Stats stats_;
+};
+
+}  // namespace clue::engine

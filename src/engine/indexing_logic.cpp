@@ -1,0 +1,30 @@
+#include "engine/indexing_logic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clue::engine {
+
+IndexingLogic::IndexingLogic(std::vector<netbase::Ipv4Address> boundaries,
+                             std::vector<std::size_t> bucket_to_tcam)
+    : boundaries_(std::move(boundaries)),
+      bucket_to_tcam_(std::move(bucket_to_tcam)) {
+  if (bucket_to_tcam_.empty()) {
+    throw std::invalid_argument("IndexingLogic: need at least one bucket");
+  }
+  if (boundaries_.size() + 1 != bucket_to_tcam_.size()) {
+    throw std::invalid_argument(
+        "IndexingLogic: boundaries must be one fewer than buckets");
+  }
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+    throw std::invalid_argument("IndexingLogic: boundaries must be sorted");
+  }
+}
+
+std::size_t IndexingLogic::bucket_of(netbase::Ipv4Address address) const {
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), address);
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+}  // namespace clue::engine

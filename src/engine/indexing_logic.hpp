@@ -1,0 +1,35 @@
+// IndexingLogic — step II of the paper's Fig. 1 pipeline.
+//
+// Maps a destination address to its partition ("bucket") and home TCAM.
+// For CLUE's even range partition the buckets are consecutive address
+// ranges, so the logic is one binary search over n-1 boundaries — cheap
+// enough for a small on-chip table in hardware.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netbase/ipv4.hpp"
+
+namespace clue::engine {
+
+class IndexingLogic {
+ public:
+  /// `boundaries[i]` is the first address of bucket i+1 (ascending);
+  /// `bucket_to_tcam[b]` is bucket b's home chip.
+  IndexingLogic(std::vector<netbase::Ipv4Address> boundaries,
+                std::vector<std::size_t> bucket_to_tcam);
+
+  std::size_t bucket_of(netbase::Ipv4Address address) const;
+  std::size_t tcam_of(netbase::Ipv4Address address) const {
+    return bucket_to_tcam_[bucket_of(address)];
+  }
+
+  std::size_t bucket_count() const { return bucket_to_tcam_.size(); }
+
+ private:
+  std::vector<netbase::Ipv4Address> boundaries_;
+  std::vector<std::size_t> bucket_to_tcam_;
+};
+
+}  // namespace clue::engine

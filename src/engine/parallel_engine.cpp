@@ -1,0 +1,250 @@
+#include "engine/parallel_engine.hpp"
+
+#include <stdexcept>
+
+#include "rrcme/rrc_me.hpp"
+
+namespace clue::engine {
+
+ParallelEngine::ParallelEngine(EngineMode mode, const EngineConfig& config,
+                               const EngineSetup& setup,
+                               const trie::BinaryTrie* full_fib)
+    : mode_(mode), config_(config),
+      indexing_(setup.bucket_boundaries, setup.bucket_to_tcam),
+      full_fib_(full_fib) {
+  if (config.tcam_count < 2) {
+    throw std::invalid_argument("ParallelEngine: need at least two TCAMs");
+  }
+  if (setup.tcam_routes.size() != config.tcam_count) {
+    throw std::invalid_argument(
+        "ParallelEngine: one route set per TCAM required");
+  }
+  if (mode == EngineMode::kClpl && full_fib == nullptr) {
+    throw std::invalid_argument(
+        "ParallelEngine: CLPL mode needs the full FIB for RRC-ME");
+  }
+  if (mode == EngineMode::kSlpl) {
+    if (setup.bucket_homes.size() != setup.bucket_to_tcam.size()) {
+      throw std::invalid_argument(
+          "ParallelEngine: SLPL mode needs bucket_homes per bucket");
+    }
+    for (const auto& homes : setup.bucket_homes) {
+      if (homes.empty()) {
+        throw std::invalid_argument(
+            "ParallelEngine: every bucket needs at least one home");
+      }
+      for (const auto chip : homes) {
+        if (chip >= config.tcam_count) {
+          throw std::invalid_argument(
+              "ParallelEngine: bucket home past TCAMs");
+        }
+      }
+    }
+    bucket_homes_ = setup.bucket_homes;
+  }
+  for (const auto target : setup.bucket_to_tcam) {
+    if (target >= config.tcam_count) {
+      throw std::invalid_argument("ParallelEngine: bucket maps past TCAMs");
+    }
+  }
+  chips_.resize(config.tcam_count);
+  for (std::size_t i = 0; i < config.tcam_count; ++i) {
+    chips_[i].dred = std::make_unique<DredStore>(config.dred_capacity);
+    for (const auto& route : setup.tcam_routes[i]) {
+      chips_[i].home.insert(route.prefix, route.next_hop);
+    }
+  }
+  if (config.track_reorder) reorder_.emplace(0);
+}
+
+void ParallelEngine::admit(Ipv4Address address, EngineMetrics& metrics) {
+  if (mode_ == EngineMode::kSlpl) {
+    // Static redundancy: route to the idlest chip holding a copy of the
+    // bucket. No diversion is possible beyond the pre-provisioned
+    // replicas — exactly the rigidity CLPL/CLUE fix.
+    const auto& homes = bucket_homes_[indexing_.bucket_of(address)];
+    std::size_t best_chip = chips_.size();
+    std::size_t best_queue = config_.fifo_depth;
+    for (const auto chip : homes) {
+      if (chips_[chip].queue.size() < best_queue) {
+        best_queue = chips_[chip].queue.size();
+        best_chip = chip;
+      }
+    }
+    if (best_chip == chips_.size()) {
+      ++metrics.packets_dropped;
+      return;
+    }
+    chips_[best_chip].queue.push_back(Job{address, next_sequence_++, false});
+    return;
+  }
+  const std::size_t home = indexing_.tcam_of(address);
+  if (chips_[home].queue.size() < config_.fifo_depth) {
+    chips_[home].queue.push_back(Job{address, next_sequence_++, false});
+    return;
+  }
+  // Home FIFO full: divert to the idlest other queue; the packet will be
+  // matched only against that chip's DRed.
+  std::size_t idlest = config_.tcam_count;
+  std::size_t best = ~std::size_t{0};
+  for (std::size_t i = 0; i < config_.tcam_count; ++i) {
+    if (i == home) continue;
+    if (chips_[i].queue.size() < best) {
+      best = chips_[i].queue.size();
+      idlest = i;
+    }
+  }
+  if (idlest == config_.tcam_count || best >= config_.fifo_depth) {
+    ++metrics.packets_dropped;  // no sequence consumed
+    return;
+  }
+  chips_[idlest].queue.push_back(Job{address, next_sequence_++, true});
+}
+
+void ParallelEngine::fill_dreds(std::size_t home_tcam, Ipv4Address address,
+                                const Route& matched,
+                                EngineMetrics& metrics) {
+  if (mode_ == EngineMode::kClue) {
+    // §III-C: the disjoint LPM result is directly cacheable; push it to
+    // every DRed except the home chip's own (which can never serve it).
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+      if (i == home_tcam) continue;
+      chips_[i].dred->insert(matched);
+      ++metrics.dred_fills;
+    }
+    return;
+  }
+  // CLPL: control-plane round trip. RRC-ME walks the SRAM trie to find
+  // the minimal cacheable expansion, which then fills all N caches —
+  // including the home chip's, whose copy can never be hit.
+  ++metrics.control_plane_interactions;
+  (void)matched;
+  const auto fill = rrcme::minimal_expansion(*full_fib_, address);
+  if (!fill) return;
+  metrics.control_plane_sram_accesses += fill->sram_accesses;
+  for (auto& chip : chips_) {
+    chip.dred->insert(Route{fill->prefix, fill->next_hop});
+    ++metrics.dred_fills;
+  }
+}
+
+void ParallelEngine::complete(std::size_t tcam, const Job& job,
+                              std::uint64_t clock, EngineMetrics& metrics) {
+  ++metrics.per_tcam_lookups[tcam];
+  NextHop result = netbase::kNoRoute;
+  if (job.dred_only) {
+    ++metrics.dred_lookups;
+    const auto hop = chips_[tcam].dred->lookup(job.address);
+    if (!hop) {
+      // Miss: back to the home queue (accepted beyond the FIFO bound —
+      // returns are the home chip's responsibility, never dropped).
+      const std::size_t home = indexing_.tcam_of(job.address);
+      chips_[home].queue.push_back(Job{job.address, job.sequence, false});
+      return;
+    }
+    ++metrics.dred_hits;
+    result = *hop;
+  } else {
+    ++metrics.per_tcam_home[tcam];
+    if (const auto matched = chips_[tcam].home.lookup_route(job.address)) {
+      result = matched->next_hop;
+      if (mode_ != EngineMode::kSlpl) {
+        fill_dreds(tcam, job.address, *matched, metrics);
+      }
+    }
+  }
+  ++metrics.packets_completed;
+  if (reorder_) reorder_->accept(job.sequence, result, clock);
+  if (any_completed_ && job.sequence < highest_completed_) {
+    ++metrics.out_of_order_completions;
+    const std::uint64_t distance = highest_completed_ - job.sequence;
+    if (distance > metrics.max_reorder_distance) {
+      metrics.max_reorder_distance = distance;
+    }
+  }
+  if (!any_completed_ || job.sequence > highest_completed_) {
+    highest_completed_ = job.sequence;
+    any_completed_ = true;
+  }
+}
+
+bool ParallelEngine::all_idle() const {
+  for (const auto& chip : chips_) {
+    if (chip.current || !chip.queue.empty()) return false;
+  }
+  return true;
+}
+
+EngineMetrics ParallelEngine::run(
+    const std::function<Ipv4Address()>& source, std::size_t count) {
+  EngineMetrics metrics;
+  metrics.per_tcam_lookups.assign(config_.tcam_count, 0);
+  metrics.per_tcam_home.assign(config_.tcam_count, 0);
+  metrics.per_tcam_busy.assign(config_.tcam_count, 0);
+
+  std::size_t remaining_arrivals = count;
+  while (remaining_arrivals > 0 || !all_idle()) {
+    ++metrics.clocks;
+    // Update interference: periodically one chip pauses lookups while a
+    // routing-update write occupies it (premise 1 of the paper's proof).
+    if (config_.update_interval_clocks != 0 &&
+        metrics.clocks % config_.update_interval_clocks == 0) {
+      auto& victim = chips_[next_stall_chip_];
+      next_stall_chip_ = (next_stall_chip_ + 1) % chips_.size();
+      victim.stalled += config_.update_stall_clocks;
+    }
+    // Service phase: every busy chip advances one clock; completions
+    // happen `service_clocks` after a job is started.
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+      auto& chip = chips_[i];
+      if (chip.stalled > 0) {
+        --chip.stalled;
+        ++metrics.update_stalls;
+        continue;
+      }
+      if (chip.current) {
+        ++metrics.per_tcam_busy[i];
+        if (--chip.remaining == 0) {
+          const Job done = *chip.current;
+          chip.current.reset();
+          complete(i, done, metrics.clocks, metrics);
+        }
+      }
+    }
+    // Start phase: idle chips pull the next job from their FIFO.
+    for (auto& chip : chips_) {
+      if (!chip.stalled && !chip.current && !chip.queue.empty()) {
+        chip.current = chip.queue.front();
+        chip.queue.pop_front();
+        chip.remaining = config_.service_clocks;
+      }
+    }
+    // Arrival phase: one packet per clock.
+    if (remaining_arrivals > 0) {
+      --remaining_arrivals;
+      ++metrics.packets_offered;
+      admit(source(), metrics);
+      if (remaining_arrivals == 0) {
+        metrics.arrival_clocks = metrics.clocks;
+        metrics.completed_during_arrivals = metrics.packets_completed;
+      }
+    }
+    if (reorder_) reorder_->drain(metrics.clocks);
+  }
+  if (reorder_) {
+    reorder_->drain(metrics.clocks + 1);
+    metrics.reorder_max_occupancy = reorder_->stats().max_occupancy;
+    metrics.reorder_mean_hold_clocks = reorder_->stats().mean_hold_clocks();
+  }
+  return metrics;
+}
+
+std::size_t ParallelEngine::erase_from_dreds(const Prefix& prefix) {
+  std::size_t erased = 0;
+  for (auto& chip : chips_) {
+    if (chip.dred->erase(prefix)) ++erased;
+  }
+  return erased;
+}
+
+}  // namespace clue::engine

@@ -1,0 +1,179 @@
+// ParallelEngine — the clock-stepped simulation of Fig. 1.
+//
+// N TCAM chips, each with a home FIFO, a home partition and a DRed
+// partition. One packet may arrive per clock; each chip completes one
+// lookup every `service_clocks` clocks (the paper's Fig. 15 setting is
+// 4 clocks/lookup, FIFO 256, DRed 1024). Dispatch follows §III-B:
+//
+//   a) home queue has room  -> enqueue at the home TCAM (full lookup);
+//   b) home queue full      -> enqueue at the idlest other queue, where
+//                              the packet is looked up ONLY in that
+//                              chip's DRed;
+//   c) DRed miss            -> back to the home queue (which accepts
+//                              returns beyond the FIFO bound so misses
+//                              are never lost — they model the
+//                              (1-u)·E term of the speedup proof).
+//
+// Mode differences (the paper's §III-C):
+//   kClue — the home-hit prefix is cached directly into the *other* N-1
+//           DReds; no control-plane involvement.
+//   kClpl — the control plane runs RRC-ME over the full (overlapping)
+//           FIB to find a cacheable prefix, then fills all N logical
+//           caches (wasting the home chip's share). Each fill is counted
+//           as a control-plane interaction plus its SRAM accesses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/dred.hpp"
+#include "engine/indexing_logic.hpp"
+#include "engine/reorder_buffer.hpp"
+#include "netbase/prefix.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::engine {
+
+/// kClue — dynamic redundancy with the exclusion rule, direct fills.
+/// kClpl — dynamic redundancy via RRC-ME logical caches (control plane).
+/// kSlpl — *static* redundancy (Zheng et al.): hot buckets are
+///         pre-replicated on several chips from long-period statistics;
+///         dispatch picks the idlest replica; there is no DRed at all.
+enum class EngineMode { kClue, kClpl, kSlpl };
+
+struct EngineConfig {
+  std::size_t tcam_count = 4;
+  std::size_t fifo_depth = 256;
+  std::size_t dred_capacity = 1024;  ///< per chip
+  std::size_t service_clocks = 4;    ///< clocks per TCAM lookup
+  /// Run completions through a ReorderBuffer (Fig. 1 step III) and
+  /// report its occupancy/latency cost in the metrics.
+  bool track_reorder = false;
+  /// Every `update_interval_clocks` clocks, one chip (round-robin) is
+  /// blocked for `update_stall_clocks` — models TCAM update operations
+  /// interrupting lookups (the paper's premise 1 experiment). 0 = off.
+  std::size_t update_interval_clocks = 0;
+  std::size_t update_stall_clocks = 1;
+};
+
+/// Static contents of the engine: per-chip home tables plus the bucket
+/// map for the Indexing Logic.
+struct EngineSetup {
+  std::vector<std::vector<Route>> tcam_routes;
+  std::vector<Ipv4Address> bucket_boundaries;  // ascending, buckets-1 of them
+  std::vector<std::size_t> bucket_to_tcam;
+  /// kSlpl only: every chip holding a (possibly replicated) copy of each
+  /// bucket; bucket_to_tcam is ignored when this is non-empty. Each
+  /// chip's tcam_routes must already include its replica entries.
+  std::vector<std::vector<std::size_t>> bucket_homes;
+};
+
+struct EngineMetrics {
+  std::uint64_t clocks = 0;
+  /// Clocks and completions within the arrival window (before the final
+  /// drain) — the steady-state figures the speedup factor is defined on.
+  std::uint64_t arrival_clocks = 0;
+  std::uint64_t completed_during_arrivals = 0;
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_completed = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t dred_lookups = 0;
+  std::uint64_t dred_hits = 0;
+  std::uint64_t dred_fills = 0;
+  std::uint64_t control_plane_interactions = 0;
+  std::uint64_t control_plane_sram_accesses = 0;
+  std::uint64_t out_of_order_completions = 0;
+  std::uint64_t max_reorder_distance = 0;
+  /// ReorderBuffer cost (populated when EngineConfig::track_reorder):
+  std::size_t reorder_max_occupancy = 0;
+  double reorder_mean_hold_clocks = 0;
+  std::uint64_t update_stalls = 0;  ///< chip-clocks lost to updates
+  std::vector<std::uint64_t> per_tcam_lookups;   // home + dred served
+  std::vector<std::uint64_t> per_tcam_home;      // home lookups served
+  std::vector<std::uint64_t> per_tcam_busy;      // busy clocks
+
+  /// Lookup throughput in units of one chip's capacity — the paper's
+  /// speedup factor t. Measured over the arrival window so the tail
+  /// drain of queued backlog does not dilute the steady-state figure.
+  double speedup(std::size_t service_clocks) const {
+    const std::uint64_t window = arrival_clocks ? arrival_clocks : clocks;
+    const std::uint64_t done =
+        arrival_clocks ? completed_during_arrivals : packets_completed;
+    return window == 0 ? 0.0
+                       : static_cast<double>(done) *
+                             static_cast<double>(service_clocks) /
+                             static_cast<double>(window);
+  }
+  double dred_hit_rate() const {
+    return dred_lookups ? static_cast<double>(dred_hits) /
+                              static_cast<double>(dred_lookups)
+                        : 0.0;
+  }
+};
+
+class ParallelEngine {
+ public:
+  /// `full_fib` is required in kClpl mode (RRC-ME's SRAM image); ignored
+  /// in kClue mode.
+  ParallelEngine(EngineMode mode, const EngineConfig& config,
+                 const EngineSetup& setup,
+                 const trie::BinaryTrie* full_fib = nullptr);
+
+  /// Feeds `count` packets from `source` (one arrival per clock), then
+  /// drains all queues. Returns the run's metrics.
+  EngineMetrics run(const std::function<Ipv4Address()>& source,
+                    std::size_t count);
+
+  /// Routing-update synchronisation (§IV-C): removes a prefix from every
+  /// DRed it is cached in. Returns the number of chips it was erased
+  /// from.
+  std::size_t erase_from_dreds(const Prefix& prefix);
+
+  const DredStore& dred(std::size_t tcam) const { return *chips_[tcam].dred; }
+  const IndexingLogic& indexing() const { return indexing_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    Ipv4Address address;
+    std::uint64_t sequence = 0;
+    bool dred_only = false;
+  };
+
+  struct Chip {
+    trie::BinaryTrie home;
+    std::unique_ptr<DredStore> dred;
+    std::deque<Job> queue;
+    std::optional<Job> current;
+    std::size_t remaining = 0;
+    std::size_t stalled = 0;  ///< clocks left in an update stall
+  };
+
+  /// Admits one fresh arrival; assigns its sequence number only when a
+  /// queue accepts it (dropped packets never consume a tag, or the
+  /// reorder buffer would stall on the gap).
+  void admit(Ipv4Address address, EngineMetrics& metrics);
+  void complete(std::size_t tcam, const Job& job, std::uint64_t clock,
+                EngineMetrics& metrics);
+  void fill_dreds(std::size_t home_tcam, Ipv4Address address,
+                  const Route& matched, EngineMetrics& metrics);
+  bool all_idle() const;
+
+  EngineMode mode_;
+  EngineConfig config_;
+  IndexingLogic indexing_;
+  std::vector<Chip> chips_;
+  const trie::BinaryTrie* full_fib_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t highest_completed_ = 0;
+  bool any_completed_ = false;
+  std::optional<ReorderBuffer> reorder_;
+  std::size_t next_stall_chip_ = 0;
+  std::vector<std::vector<std::size_t>> bucket_homes_;  // kSlpl only
+};
+
+}  // namespace clue::engine

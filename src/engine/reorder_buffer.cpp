@@ -1,0 +1,39 @@
+#include "engine/reorder_buffer.hpp"
+
+#include <stdexcept>
+
+namespace clue::engine {
+
+void ReorderBuffer::accept(std::uint64_t sequence, netbase::NextHop next_hop,
+                           std::uint64_t clock) {
+  if (sequence < next_release_) {
+    throw std::logic_error("ReorderBuffer: sequence already released");
+  }
+  const auto [it, inserted] =
+      parked_.emplace(sequence, Parked{next_hop, clock});
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("ReorderBuffer: duplicate sequence");
+  }
+  ++stats_.accepted;
+  if (parked_.size() > stats_.max_occupancy) {
+    stats_.max_occupancy = parked_.size();
+  }
+}
+
+std::vector<ReorderBuffer::Released> ReorderBuffer::drain(
+    std::uint64_t clock) {
+  std::vector<Released> out;
+  for (auto it = parked_.begin();
+       it != parked_.end() && it->first == next_release_;
+       it = parked_.erase(it)) {
+    out.push_back(Released{it->first, it->second.next_hop,
+                           it->second.completed_clock, clock});
+    stats_.total_hold_clocks += clock - it->second.completed_clock;
+    ++stats_.released;
+    ++next_release_;
+  }
+  return out;
+}
+
+}  // namespace clue::engine

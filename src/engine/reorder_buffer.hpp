@@ -1,0 +1,71 @@
+// ReorderBuffer — Fig. 1 step III's sequence-tag machinery.
+//
+// The parallel engine completes lookups out of order (a diverted packet
+// may finish before an earlier packet stuck in a deep home FIFO). The
+// egress side must restore arrival order: completions are tagged with
+// their arrival sequence number, parked until every earlier tag has
+// completed, then released in order. This component measures the cost
+// of that guarantee: buffer occupancy and added latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace clue::engine {
+
+class ReorderBuffer {
+ public:
+  struct Released {
+    std::uint64_t sequence;
+    netbase::NextHop next_hop;
+    std::uint64_t completed_clock;  ///< when the lookup finished
+    std::uint64_t released_clock;   ///< when in-order release happened
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t released = 0;
+    std::size_t max_occupancy = 0;
+    /// Sum over released packets of (released - completed) clocks.
+    std::uint64_t total_hold_clocks = 0;
+
+    double mean_hold_clocks() const {
+      return released ? static_cast<double>(total_hold_clocks) /
+                            static_cast<double>(released)
+                      : 0.0;
+    }
+  };
+
+  /// `first_sequence` is the tag the very first release must carry.
+  explicit ReorderBuffer(std::uint64_t first_sequence = 0)
+      : next_release_(first_sequence) {}
+
+  /// Accepts one completed lookup. Sequences must be unique and >= the
+  /// next expected release; duplicates throw.
+  void accept(std::uint64_t sequence, netbase::NextHop next_hop,
+              std::uint64_t clock);
+
+  /// Releases every packet that is now in order, stamped with `clock`.
+  std::vector<Released> drain(std::uint64_t clock);
+
+  /// Sequences accepted but not yet releasable.
+  std::size_t occupancy() const { return parked_.size(); }
+  std::uint64_t next_release_sequence() const { return next_release_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Parked {
+    netbase::NextHop next_hop;
+    std::uint64_t completed_clock;
+  };
+
+  std::uint64_t next_release_;
+  std::map<std::uint64_t, Parked> parked_;
+  Stats stats_;
+};
+
+}  // namespace clue::engine

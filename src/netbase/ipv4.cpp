@@ -1,0 +1,42 @@
+#include "netbase/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace clue::netbase {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    std::uint32_t octet = 0;
+    auto [next, ec] = std::from_chars(cursor, end, octet);
+    if (ec != std::errc{} || next == cursor || octet > 255) {
+      return std::nullopt;
+    }
+    octets[static_cast<std::size_t>(i)] = octet;
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xFFu);
+  }
+  return out;
+}
+
+}  // namespace clue::netbase

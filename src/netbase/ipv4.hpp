@@ -1,0 +1,51 @@
+// IPv4 address value type.
+//
+// A thin, strongly-typed wrapper over a host-order 32-bit value with
+// parsing, formatting and bit-level helpers used throughout CLUE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace clue::netbase {
+
+/// An IPv4 address stored in host byte order.
+///
+/// The most significant bit of `value()` is bit 0 of the address in
+/// prefix notation (i.e. the first bit examined by a trie walk).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+
+  /// Builds an address from its four dotted-quad octets (a.b.c.d).
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// syntax error (missing octets, values > 255, trailing junk).
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Returns bit `index` (0 = most significant) as 0 or 1.
+  constexpr unsigned bit(unsigned index) const {
+    return (value_ >> (31u - index)) & 1u;
+  }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(Ipv4Address, Ipv4Address) = default;
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace clue::netbase

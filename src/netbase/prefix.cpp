@@ -1,0 +1,53 @@
+#include "netbase/prefix.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace clue::netbase {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto address = Ipv4Address::parse(text);
+    if (!address) return std::nullopt;
+    return Prefix(*address, kMaxLength);
+  }
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view length_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [next, ec] = std::from_chars(
+      length_text.data(), length_text.data() + length_text.size(), length);
+  if (ec != std::errc{} || next != length_text.data() + length_text.size() ||
+      length > kMaxLength) {
+    return std::nullopt;
+  }
+  return Prefix(*address, length);
+}
+
+std::string Prefix::to_string() const {
+  return address().to_string() + "/" + std::to_string(length());
+}
+
+std::vector<Prefix> cidr_cover(Ipv4Address low, Ipv4Address high) {
+  if (low > high) {
+    throw std::invalid_argument("cidr_cover: low must be <= high");
+  }
+  std::vector<Prefix> out;
+  std::uint64_t cursor = low.value();
+  const std::uint64_t end = std::uint64_t{high.value()} + 1;
+  while (cursor < end) {
+    // Largest aligned block starting at cursor that fits in [cursor, end).
+    std::uint64_t block = cursor == 0 ? (std::uint64_t{1} << 32)
+                                      : (cursor & (~cursor + 1));
+    while (block > end - cursor) block >>= 1;
+    unsigned length = 32;
+    for (std::uint64_t size = 1; size < block; size <<= 1) --length;
+    out.push_back(
+        Prefix(Ipv4Address(static_cast<std::uint32_t>(cursor)), length));
+    cursor += block;
+  }
+  return out;
+}
+
+}  // namespace clue::netbase

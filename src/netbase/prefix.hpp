@@ -1,0 +1,149 @@
+// IPv4 prefix value type.
+//
+// The fundamental key of every routing structure in CLUE: tries, TCAM
+// entries, DRed caches and partition boundaries all speak Prefix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv4.hpp"
+
+namespace clue::netbase {
+
+/// An IPv4 prefix `bits/length` with 0 <= length <= 32.
+///
+/// Invariant: all bits below the prefix length are zero, so two Prefix
+/// objects compare equal iff they denote the same address range.
+class Prefix {
+ public:
+  static constexpr unsigned kMaxLength = 32;
+
+  /// The default (zero-length) prefix covering the whole address space.
+  constexpr Prefix() = default;
+
+  /// Builds `bits/length`, masking out any bits below the prefix length.
+  constexpr Prefix(Ipv4Address bits, unsigned length)
+      : bits_(bits.value() & mask_for(length)),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses "a.b.c.d/len"; a bare address parses as a /32. Host bits
+  /// below the mask are silently cleared, matching router CLI behaviour.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr Ipv4Address address() const { return Ipv4Address(bits_); }
+  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr unsigned length() const { return length_; }
+  constexpr std::uint32_t mask() const { return mask_for(length_); }
+
+  /// Number of addresses covered: 2^(32-length).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// First / last address of the covered range.
+  constexpr Ipv4Address range_low() const { return Ipv4Address(bits_); }
+  constexpr Ipv4Address range_high() const {
+    return Ipv4Address(bits_ | ~mask());
+  }
+
+  constexpr bool contains(Ipv4Address address) const {
+    return (address.value() & mask()) == bits_;
+  }
+  constexpr bool contains(const Prefix& other) const {
+    return length_ <= other.length_ && (other.bits_ & mask()) == bits_;
+  }
+  /// True when the two covered ranges intersect (one contains the other).
+  constexpr bool overlaps(const Prefix& other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// Bit `index` (0 = most significant); requires index < length().
+  constexpr unsigned bit(unsigned index) const {
+    return (bits_ >> (31u - index)) & 1u;
+  }
+
+  /// The parent prefix, one bit shorter. Requires length() > 0.
+  constexpr Prefix parent() const {
+    return Prefix(Ipv4Address(bits_), length_ - 1u);
+  }
+
+  /// Child prefix obtained by appending `bit` (0 or 1).
+  /// Requires length() < 32.
+  constexpr Prefix child(unsigned bit) const {
+    const unsigned child_len = length_ + 1u;
+    const std::uint32_t appended =
+        bits_ | (static_cast<std::uint32_t>(bit & 1u) << (32u - child_len));
+    return Prefix(Ipv4Address(appended), child_len);
+  }
+
+  /// The sibling sharing this prefix's parent. Requires length() > 0.
+  constexpr Prefix sibling() const {
+    return Prefix(Ipv4Address(bits_ ^ (1u << (32u - length_))), length_);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+  /// Orders by address range start, then by length (shorter first), which
+  /// is exactly the in-order position of the node in a binary trie.
+  friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) {
+    if (auto cmp = a.bits_ <=> b.bits_; cmp != 0) return cmp;
+    return a.length_ <=> b.length_;
+  }
+
+ private:
+  static constexpr std::uint32_t mask_for(unsigned length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32u - length);
+  }
+
+  std::uint32_t bits_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+/// Decomposes the inclusive address range [low, high] into the minimal
+/// list of aligned CIDR prefixes, in ascending address order. This is
+/// the classic range-to-CIDR construction (used when a compressed
+/// region must be split at a TCAM partition boundary). Requires
+/// low <= high.
+std::vector<Prefix> cidr_cover(Ipv4Address low, Ipv4Address high);
+
+/// A next-hop identifier. 0 is reserved for "no route".
+enum class NextHop : std::uint32_t {};
+
+inline constexpr NextHop kNoRoute = NextHop{0};
+
+constexpr std::uint32_t to_index(NextHop hop) {
+  return static_cast<std::uint32_t>(hop);
+}
+constexpr NextHop make_next_hop(std::uint32_t id) { return NextHop{id}; }
+
+/// A routing-table entry: the unit stored in tries and TCAMs.
+struct Route {
+  Prefix prefix;
+  NextHop next_hop = kNoRoute;
+
+  friend constexpr bool operator==(const Route&, const Route&) = default;
+  friend constexpr auto operator<=>(const Route&, const Route&) = default;
+};
+
+}  // namespace clue::netbase
+
+template <>
+struct std::hash<clue::netbase::Prefix> {
+  std::size_t operator()(const clue::netbase::Prefix& p) const noexcept {
+    // Splitmix-style mix of (bits, length); cheap and well distributed.
+    std::uint64_t x =
+        (std::uint64_t{p.bits()} << 6) ^ std::uint64_t{p.length()};
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

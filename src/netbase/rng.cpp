@@ -1,0 +1,33 @@
+#include "netbase/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace clue::netbase {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (skew < 0) throw std::invalid_argument("ZipfSampler: skew must be >= 0");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Pcg32& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t i) const {
+  if (i >= cdf_.size()) throw std::out_of_range("ZipfSampler::probability");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace clue::netbase

@@ -1,0 +1,86 @@
+// Deterministic random-number utilities.
+//
+// Every experiment in the repository is seeded, so results are exactly
+// reproducible run to run. We use PCG32 (small, fast, good statistical
+// quality) rather than std::mt19937 to keep generator state tiny in the
+// many per-flow generators the traffic model instantiates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clue::netbase {
+
+/// PCG32 (XSH-RR variant) — O'Neill 2014.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire rejection).
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t product = std::uint64_t{next()} * bound;
+    auto low = static_cast<std::uint32_t>(product);
+    if (low < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        product = std::uint64_t{next()} * bound;
+        low = static_cast<std::uint32_t>(product);
+      }
+    }
+    return static_cast<std::uint32_t>(product >> 32);
+  }
+
+  /// Uniform double in [0, 1), using the top 27 bits.
+  double next_double() {
+    return static_cast<double>(next() >> 5) * (1.0 / 134217728.0);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// Samples from a Zipf(s) distribution over ranks {0, .., n-1} in O(1)
+/// per draw after O(n) table construction (inverse-CDF on a prefix-sum
+/// table with binary search; n is at most a few hundred thousand here).
+class ZipfSampler {
+ public:
+  /// `skew` is the Zipf exponent; 0 degenerates to uniform.
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t sample(Pcg32& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank `i`.
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace clue::netbase

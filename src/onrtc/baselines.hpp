@@ -1,0 +1,35 @@
+// Compression baselines the paper positions ONRTC against (§II-A).
+//
+//  * leaf_push — controlled prefix expansion (Srinivasan & Varghese,
+//    ref [13]): push every route down to the disjoint leaves of the
+//    trie. The only prior art that fully eliminates overlap, but it
+//    "substantially incurs the expansion of routing table": no merging
+//    happens, so the output is the *un-minimised* disjoint cover.
+//  * ortc_compress — Optimal Routing Table Constructor (Draves, King,
+//    Venkatachary & Zill, INFOCOM 1999, ref [5]): the optimal
+//    *overlapping* compression. Smaller than ONRTC's output, but the
+//    result still needs length-ordered TCAM layout, a priority encoder,
+//    and suffers the domino effect — exactly the trade the paper's
+//    Table-less discussion walks through.
+//
+// Sizes always satisfy:  ortc <= onrtc <= original (for typical tables)
+// and                    onrtc <= leaf_push,
+// with all four computing the same forwarding function.
+#pragma once
+
+#include <vector>
+
+#include "trie/binary_trie.hpp"
+
+namespace clue::onrtc {
+
+/// Full leaf-pushing: the disjoint cover of the LPM function with no
+/// merging. Sorted by (address, length).
+std::vector<netbase::Route> leaf_push(const trie::BinaryTrie& fib);
+
+/// Classic three-pass ORTC: the minimal *overlapping* table equivalent
+/// to `fib`. Sorted by (address, length). Unrouted space maps to
+/// "no route" exactly as in the input.
+std::vector<netbase::Route> ortc_compress(const trie::BinaryTrie& fib);
+
+}  // namespace clue::onrtc

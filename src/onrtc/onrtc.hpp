@@ -1,0 +1,59 @@
+// ONRTC — Optimal Non-overlap Routing Table Construction.
+//
+// Reimplementation of the compression stage CLUE builds on (Yang et al.,
+// "Constructing Optimal Non-overlap Routing Tables", ICC 2012). Given a
+// FIB with longest-prefix-match semantics, produce the smallest set of
+// pairwise-disjoint prefixes that computes the same forwarding function:
+// every routed address is covered by exactly one output prefix carrying
+// its correct next hop, and no unrouted address is covered at all.
+//
+// Algorithm: conceptually leaf-push the LPM function down to disjoint
+// regions, then merge every maximal subtree on which the function is
+// constant into one prefix. This greedy maximal merge is optimal: a
+// disjoint prefix set restricted to a subtree either contains the subtree
+// root itself (possible only when the function is constant there, cost 1)
+// or splits exactly into independent child subproblems — so costs add and
+// no smaller representation exists.
+//
+// Non-overlap is what buys CLUE its headline properties: TCAM entries can
+// be stored in arbitrary order (no priority encoder), updates never
+// cascade (no domino effect), and partitions split exactly evenly.
+#pragma once
+
+#include <vector>
+
+#include "trie/binary_trie.hpp"
+
+namespace clue::onrtc {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+/// Compresses `fib` into the minimal equivalent non-overlapping table.
+/// The result is sorted by (address, length), i.e. in-order.
+std::vector<Route> compress(const trie::BinaryTrie& fib);
+
+/// Statistics of one compression run, as reported in the paper's Fig. 8.
+struct CompressionStats {
+  std::size_t original_routes = 0;
+  std::size_t compressed_routes = 0;
+
+  double ratio() const {
+    return original_routes == 0
+               ? 1.0
+               : static_cast<double>(compressed_routes) /
+                     static_cast<double>(original_routes);
+  }
+};
+
+/// Convenience wrapper returning both the table and its statistics.
+struct CompressionResult {
+  std::vector<Route> table;
+  CompressionStats stats;
+};
+
+CompressionResult compress_with_stats(const trie::BinaryTrie& fib);
+
+}  // namespace clue::onrtc

@@ -1,0 +1,65 @@
+// RRC-ME — Routing-prefix Cache with Minimal Expansion.
+//
+// Reimplementation of the cacheable-prefix algorithm of Akhbarizadeh &
+// Nourani (Hot Interconnects 2004) that CLPL uses to fill its logical
+// caches. When a table still contains *overlapping* prefixes, the LPM
+// result itself cannot be cached: a cached short prefix would shadow its
+// more-specific children. RRC-ME instead computes the minimal expansion —
+// the shortest extension of the matched prefix along the looked-up
+// address under which no more-specific route exists — and caches that.
+//
+// CLUE's point (paper §III-C) is that after ONRTC this machinery, and the
+// control-plane round trip it implies, disappears entirely: the matched
+// disjoint prefix is always directly cacheable. We build RRC-ME anyway,
+// because every CLPL baseline number (TTF3, Fig. 12/13/14, Fig. 17)
+// depends on it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "trie/binary_trie.hpp"
+
+namespace clue::rrcme {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+/// Result of a minimal-expansion computation.
+struct CacheFill {
+  /// The prefix that is safe to cache (covers `address`, maps to
+  /// `next_hop`, covers no address with a different LPM result).
+  Prefix prefix;
+  NextHop next_hop = netbase::kNoRoute;
+  /// Trie nodes visited — the SRAM-access count the control plane pays.
+  std::size_t sram_accesses = 0;
+};
+
+/// Computes the minimal-expansion cacheable prefix for `address` against
+/// `fib`. Returns nullopt when the address has no route at all.
+///
+/// Precondition: none — works on overlapping and non-overlapping tables
+/// alike (on a non-overlapping table it returns the matched prefix
+/// itself, which is exactly CLUE's observation).
+std::optional<CacheFill> minimal_expansion(const trie::BinaryTrie& fib,
+                                           Ipv4Address address);
+
+/// The cache-maintenance side of RRC-ME: when the route at
+/// `changed_prefix` is inserted/modified/withdrawn, every cached entry
+/// whose range intersects it may now be stale and must be invalidated.
+/// Returns the stale subset of `cached` and the SRAM accesses spent
+/// discovering it (one trie descent plus one check per cached entry on
+/// the path/subtree).
+struct Invalidation {
+  std::vector<Prefix> stale;
+  std::size_t sram_accesses = 0;
+};
+
+Invalidation invalidate_on_update(const trie::BinaryTrie& fib,
+                                  const Prefix& changed_prefix,
+                                  const std::vector<Prefix>& cached);
+
+}  // namespace clue::rrcme

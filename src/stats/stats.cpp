@@ -1,0 +1,217 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace clue::stats {
+
+void Summary::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Summary::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double low, double high, std::size_t bins)
+    : low_(low), width_((high - low) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  if (bins == 0 || high <= low) {
+    throw std::invalid_argument("Histogram: need bins > 0 and high > low");
+  }
+}
+
+void Histogram::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>((value - low_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return low_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return low_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0;
+  for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
+    cumulative += static_cast<double>(bins_[bin]);
+    if (cumulative >= target) return bin_low(bin) + width_;
+  }
+  return bin_low(bins_.size() - 1) + width_;
+}
+
+TimeSeries::TimeSeries(std::size_t samples_per_bucket)
+    : per_bucket_(samples_per_bucket) {
+  if (samples_per_bucket == 0) {
+    throw std::invalid_argument("TimeSeries: bucket size must be > 0");
+  }
+}
+
+void TimeSeries::add(double value) {
+  overall_.add(value);
+  pending_sum_ += value;
+  if (++pending_count_ == per_bucket_) {
+    means_.push_back(pending_sum_ / static_cast<double>(pending_count_));
+    pending_sum_ = 0;
+    pending_count_ = 0;
+  }
+}
+
+std::vector<double> TimeSeries::bucket_means() const {
+  auto out = means_;
+  if (pending_count_ > 0) {
+    out.push_back(pending_sum_ / static_cast<double>(pending_count_));
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (const auto width : widths) rule += width + 2;
+  os << std::string(rule > 2 ? rule - 2 : rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+double Percentiles::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Percentiles::quantile on empty set");
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  auto nth = samples_.begin() + static_cast<std::ptrdiff_t>(rank);
+  std::nth_element(samples_.begin(), nth, samples_.end());
+  return *nth;
+}
+
+std::vector<double> polyfit(const std::vector<double>& xs,
+                            const std::vector<double>& ys,
+                            std::size_t degree) {
+  const std::size_t n = degree + 1;
+  if (xs.size() != ys.size() || xs.size() < n) {
+    throw std::invalid_argument("polyfit: need more points than degree");
+  }
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n + 1, 0));
+  std::vector<double> powers(2 * n - 1);
+  for (std::size_t sample = 0; sample < xs.size(); ++sample) {
+    powers[0] = 1;
+    for (std::size_t p = 1; p < 2 * n - 1; ++p) {
+      powers[p] = powers[p - 1] * xs[sample];
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      for (std::size_t col = 0; col < n; ++col) {
+        matrix[row][col] += powers[row + col];
+      }
+      matrix[row][n] += powers[row] * ys[sample];
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t pivot = 0; pivot < n; ++pivot) {
+    std::size_t best = pivot;
+    for (std::size_t row = pivot + 1; row < n; ++row) {
+      if (std::abs(matrix[row][pivot]) > std::abs(matrix[best][pivot])) {
+        best = row;
+      }
+    }
+    std::swap(matrix[pivot], matrix[best]);
+    if (std::abs(matrix[pivot][pivot]) < 1e-12) {
+      throw std::invalid_argument("polyfit: singular system (degenerate xs)");
+    }
+    for (std::size_t row = pivot + 1; row < n; ++row) {
+      const double factor = matrix[row][pivot] / matrix[pivot][pivot];
+      for (std::size_t col = pivot; col <= n; ++col) {
+        matrix[row][col] -= factor * matrix[pivot][col];
+      }
+    }
+  }
+  std::vector<double> coefficients(n);
+  for (std::size_t row = n; row-- > 0;) {
+    double value = matrix[row][n];
+    for (std::size_t col = row + 1; col < n; ++col) {
+      value -= matrix[row][col] * coefficients[col];
+    }
+    coefficients[row] = value / matrix[row][row];
+  }
+  return coefficients;
+}
+
+double polyval(const std::vector<double>& coefficients, double x) {
+  double value = 0;
+  for (std::size_t i = coefficients.size(); i-- > 0;) {
+    value = value * x + coefficients[i];
+  }
+  return value;
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string percent(double ratio, int decimals) {
+  return fixed(ratio * 100.0, decimals) + "%";
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers);
+  for (const auto& row : rows) emit(row);
+}
+
+}  // namespace clue::stats

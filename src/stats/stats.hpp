@@ -1,0 +1,127 @@
+// Small statistics toolkit used by the benches and the engine metrics:
+// streaming summaries (Welford), histograms, bucketed time series, and
+// aligned table / CSV output so each bench can print the same rows the
+// paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clue::stats {
+
+/// Streaming min/max/mean/stddev via Welford's algorithm.
+class Summary {
+ public:
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [low, high); out-of-range values clamp
+/// to the first/last bin.
+class Histogram {
+ public:
+  Histogram(double low, double high, std::size_t bins);
+
+  void add(double value);
+  std::uint64_t bin_count(std::size_t bin) const { return bins_.at(bin); }
+  std::size_t bins() const { return bins_.size(); }
+  double bin_low(std::size_t bin) const;
+  std::uint64_t total() const { return total_; }
+  /// Smallest value v such that at least `q` (0..1) of the mass is <= v
+  /// (bin upper edge approximation).
+  double quantile(double q) const;
+
+ private:
+  double low_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Groups (time, value) samples into fixed-size buckets of consecutive
+/// samples and reports per-bucket means — how the paper's Fig. 10-14
+/// time-series curves are drawn.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t samples_per_bucket);
+
+  void add(double value);
+  /// Per-bucket means, the trailing partial bucket included.
+  std::vector<double> bucket_means() const;
+  const Summary& overall() const { return overall_; }
+
+ private:
+  std::size_t per_bucket_;
+  Summary overall_;
+  std::vector<double> means_;
+  double pending_sum_ = 0;
+  std::size_t pending_count_ = 0;
+};
+
+/// Right-padded fixed-column text table, in the style of the paper's
+/// Table II.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Accumulates raw samples for exact quantiles (nth_element on demand).
+/// Memory is one double per sample — fine for the 10^4-10^6 sample runs
+/// the benches do.
+class Percentiles {
+ public:
+  void add(double value) { samples_.push_back(value); }
+  std::size_t count() const { return samples_.size(); }
+  /// Exact q-quantile (0 <= q <= 1) by rank; throws when empty.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+/// Least-squares polynomial fit of degree `degree` through (xs, ys);
+/// returns coefficients lowest-order first (size degree+1). Solves the
+/// normal equations by Gaussian elimination with partial pivoting —
+/// exactly the "cubic curve fitting" the paper's Fig. 16 applies to its
+/// speedup-vs-hit-rate measurements. Requires xs.size() == ys.size() >
+/// degree.
+std::vector<double> polyfit(const std::vector<double>& xs,
+                            const std::vector<double>& ys,
+                            std::size_t degree);
+
+/// Evaluates a polyfit coefficient vector at x (Horner).
+double polyval(const std::vector<double>& coefficients, double x);
+
+/// Formats a double with fixed decimals (bench output helper).
+std::string fixed(double value, int decimals);
+/// Formats a ratio as a percent string, e.g. 0.7188 -> "71.88%".
+std::string percent(double ratio, int decimals = 2);
+
+/// Writes rows as CSV (no quoting; callers pass clean cells).
+void write_csv(std::ostream& os,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace clue::stats

@@ -1,0 +1,152 @@
+#include "system/clue_system.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "partition/partition.hpp"
+
+namespace clue::system {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ClueSystem::ClueSystem(const trie::BinaryTrie& fib,
+                       const SystemConfig& config)
+    : fib_(fib) {
+  const auto table = fib_.compressed().routes();
+  const auto partitions =
+      partition::even_partition(table, config.tcam_count);
+  boundaries_ =
+      partition::even_partition_boundaries(table, config.tcam_count);
+  std::vector<std::size_t> identity(config.tcam_count);
+  for (std::size_t i = 0; i < config.tcam_count; ++i) identity[i] = i;
+  indexing_ =
+      std::make_unique<engine::IndexingLogic>(boundaries_, identity);
+
+  std::size_t capacity = config.tcam_capacity;
+  if (capacity == 0) {
+    capacity = 2 * (table.size() / config.tcam_count + 1) + 8192;
+  }
+  chips_.reserve(config.tcam_count);
+  dreds_.reserve(config.tcam_count);
+  for (std::size_t i = 0; i < config.tcam_count; ++i) {
+    chips_.push_back(std::make_unique<tcam::ClueUpdater>(capacity));
+    for (const auto& route : partitions.buckets[i].routes) {
+      chips_[i]->insert(tcam::TcamEntry{route.prefix, route.next_hop});
+    }
+    dreds_.push_back(
+        std::make_unique<engine::DredStore>(config.dred_capacity));
+  }
+}
+
+std::size_t ClueSystem::chip_of(Ipv4Address address) const {
+  return indexing_->tcam_of(address);
+}
+
+std::vector<std::pair<std::size_t, Prefix>> ClueSystem::pieces_of(
+    const Prefix& prefix) const {
+  const std::size_t first = chip_of(prefix.range_low());
+  const std::size_t last = chip_of(prefix.range_high());
+  if (first == last) return {{first, prefix}};
+  // The region spans partition boundaries: cut it at each boundary and
+  // re-decompose every slice into aligned blocks.
+  std::vector<std::pair<std::size_t, Prefix>> pieces;
+  Ipv4Address low = prefix.range_low();
+  for (std::size_t chip = first; chip <= last; ++chip) {
+    const Ipv4Address high =
+        chip == last ? prefix.range_high()
+                     : Ipv4Address(boundaries_[chip].value() - 1);
+    if (low > high) continue;  // empty slice (boundary coincidence)
+    for (const auto& piece : netbase::cidr_cover(low, high)) {
+      pieces.emplace_back(chip, piece);
+    }
+    if (chip != last) low = boundaries_[chip];
+  }
+  return pieces;
+}
+
+NextHop ClueSystem::lookup(Ipv4Address address) {
+  const auto result = chips_[chip_of(address)]->chip().search(address);
+  return result.hit ? result.next_hop : netbase::kNoRoute;
+}
+
+update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
+  update::TtfSample sample;
+
+  const auto start = Clock::now();
+  const auto ops =
+      message.kind == workload::UpdateKind::kAnnounce
+          ? fib_.announce(message.prefix, message.next_hop)
+          : fib_.withdraw(message.prefix);
+  sample.ttf1_ns = elapsed_ns(start);
+  if (ops.empty()) return sample;
+
+  // Chips update independently, so TTF2 is the slowest chip's share.
+  std::vector<std::size_t> per_chip_ops(chips_.size(), 0);
+  std::size_t dred_ops = 0;
+  for (const auto& op : ops) {
+    for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
+      switch (op.kind) {
+        case onrtc::FibOpKind::kInsert:
+        case onrtc::FibOpKind::kModify:
+          per_chip_ops[chip] +=
+              chips_[chip]->insert(tcam::TcamEntry{piece, op.route.next_hop});
+          break;
+        case onrtc::FibOpKind::kDelete:
+          per_chip_ops[chip] += chips_[chip]->erase(piece);
+          break;
+      }
+      // DRed synchronisation (§IV-C): deletes and modifies broadcast one
+      // parallel probe to all DReds; inserts need nothing.
+      if (op.kind != onrtc::FibOpKind::kInsert) {
+        for (auto& dred : dreds_) {
+          if (op.kind == onrtc::FibOpKind::kDelete) {
+            dred->erase(piece);
+          } else if (dred->contains(piece)) {
+            dred->insert(Route{piece, op.route.next_hop});
+          }
+        }
+        ++dred_ops;
+      }
+    }
+  }
+  sample.ttf2_ns =
+      static_cast<double>(
+          *std::max_element(per_chip_ops.begin(), per_chip_ops.end())) *
+      update::CostModel::kTcamOpNs;
+  sample.ttf3_ns =
+      static_cast<double>(dred_ops) * update::CostModel::kTcamOpNs;
+  return sample;
+}
+
+engine::EngineSetup ClueSystem::engine_setup() const {
+  engine::EngineSetup setup;
+  setup.bucket_boundaries = boundaries_;
+  setup.bucket_to_tcam.resize(chips_.size());
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    setup.bucket_to_tcam[i] = i;
+  }
+  setup.tcam_routes.resize(chips_.size());
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    for (const auto& [slot, entry] : chips_[i]->chip().entries()) {
+      setup.tcam_routes[i].push_back(Route{entry.prefix, entry.next_hop});
+    }
+  }
+  return setup;
+}
+
+std::size_t ClueSystem::total_tcam_entries() const {
+  std::size_t total = 0;
+  for (const auto& chip : chips_) total += chip->size();
+  return total;
+}
+
+}  // namespace clue::system

@@ -1,0 +1,87 @@
+// ClueSystem — the deployable facade over the whole paper.
+//
+// One object owning the complete forwarding plane: the incremental
+// ONRTC control plane, N slot-level TCAM chips holding the even range
+// partition of the compressed table, and the per-chip DRed stores.
+// It answers lookups straight from the chips and pushes BGP updates end
+// to end with TTF accounting — the API a linecard integration would
+// program against. (The clock-stepped ParallelEngine remains the tool
+// for throughput experiments; this class is about *state* fidelity:
+// chip contents always equal the compressed table, split at the
+// partition boundaries.)
+//
+// Boundary subtlety the paper glosses over: an update can create a
+// merged region that *spans* a partition boundary. Storing it on one
+// chip would make the other chip miss, so the system splits such
+// regions into per-chip CIDR pieces (netbase::cidr_cover) — a few extra
+// entries, each still O(1) to install.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/dred.hpp"
+#include "engine/indexing_logic.hpp"
+#include "engine/parallel_engine.hpp"
+#include "onrtc/compressed_fib.hpp"
+#include "tcam/updater.hpp"
+#include "update/cost_model.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue::system {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+struct SystemConfig {
+  std::size_t tcam_count = 4;
+  /// Per-chip capacity; 0 = auto (2x initial partition + headroom).
+  std::size_t tcam_capacity = 0;
+  std::size_t dred_capacity = 1024;
+};
+
+class ClueSystem {
+ public:
+  ClueSystem(const trie::BinaryTrie& fib, const SystemConfig& config);
+
+  /// Data-plane lookup on the home chip (LPM; kNoRoute when unrouted).
+  NextHop lookup(Ipv4Address address);
+
+  /// Whole-path update: trie -> affected chips -> DReds. TTF2 charges
+  /// the *critical path* (chips update in parallel): max ops on any one
+  /// chip x 24 ns.
+  update::TtfSample apply(const workload::UpdateMsg& message);
+
+  /// Builds an engine setup snapshot of the current chip contents, for
+  /// throughput experiments against the live table.
+  engine::EngineSetup engine_setup() const;
+
+  const onrtc::CompressedFib& fib() const { return fib_; }
+  const tcam::TcamChip& chip(std::size_t i) const {
+    return chips_[i]->chip();
+  }
+  const engine::DredStore& dred(std::size_t i) const { return *dreds_[i]; }
+  std::size_t tcam_count() const { return chips_.size(); }
+
+  /// Total entries across chips (>= fib().size() when regions had to be
+  /// split at partition boundaries).
+  std::size_t total_tcam_entries() const;
+
+ private:
+  /// The chip index owning `address`.
+  std::size_t chip_of(Ipv4Address address) const;
+  /// Splits `prefix` at partition boundaries into per-chip pieces.
+  std::vector<std::pair<std::size_t, Prefix>> pieces_of(
+      const Prefix& prefix) const;
+
+  onrtc::CompressedFib fib_;
+  std::vector<Ipv4Address> boundaries_;  // ascending, chips-1 of them
+  std::unique_ptr<engine::IndexingLogic> indexing_;
+  std::vector<std::unique_ptr<tcam::ClueUpdater>> chips_;
+  std::vector<std::unique_ptr<engine::DredStore>> dreds_;
+};
+
+}  // namespace clue::system

@@ -1,0 +1,114 @@
+#include "tcam/tcam_chip.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace clue::tcam {
+
+TcamChip::TcamChip(std::size_t capacity) : slots_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TcamChip: capacity must be > 0");
+  }
+}
+
+const std::optional<TcamEntry>& TcamChip::read(std::size_t slot) const {
+  return slots_.at(slot);
+}
+
+void TcamChip::write(std::size_t slot, const TcamEntry& entry) {
+  auto& cell = slots_.at(slot);
+  if (cell) {
+    // Overwrite: drop the old prefix from the indexes first.
+    if (cell->prefix != entry.prefix) {
+      const auto it = slot_index_.find(cell->prefix);
+      assert(it != slot_index_.end() && it->second == slot);
+      slot_index_.erase(it);
+      match_index_.erase(cell->prefix);
+    }
+  } else {
+    ++occupied_;
+  }
+  if (const auto existing = slot_index_.find(entry.prefix);
+      existing != slot_index_.end() && existing->second != slot) {
+    throw std::logic_error("TcamChip::write: duplicate prefix " +
+                           entry.prefix.to_string());
+  }
+  cell = entry;
+  slot_index_[entry.prefix] = slot;
+  match_index_.insert(entry.prefix, entry.next_hop);
+  ++stats_.writes;
+}
+
+void TcamChip::invalidate(std::size_t slot) {
+  auto& cell = slots_.at(slot);
+  ++stats_.invalidates;
+  if (!cell) return;
+  slot_index_.erase(cell->prefix);
+  match_index_.erase(cell->prefix);
+  cell.reset();
+  --occupied_;
+}
+
+void TcamChip::move(std::size_t from, std::size_t to) {
+  if (from == to) return;
+  auto& src = slots_.at(from);
+  auto& dst = slots_.at(to);
+  if (!src) throw std::logic_error("TcamChip::move: source slot empty");
+  if (dst) throw std::logic_error("TcamChip::move: destination occupied");
+  dst = *src;
+  src.reset();
+  slot_index_[dst->prefix] = to;
+  ++stats_.moves;
+}
+
+TcamChip::SearchResult TcamChip::search(Ipv4Address address) {
+  ++stats_.searches;
+  stats_.activated_entries += occupied_;
+  SearchResult result;
+  result.slot = std::numeric_limits<std::size_t>::max();
+  match_index_.for_each_match(address, [&](const Route& route) {
+    ++result.match_count;
+    const std::size_t slot = slot_index_.at(route.prefix);
+    if (slot < result.slot) {
+      result.slot = slot;
+      result.next_hop = route.next_hop;
+      result.hit = true;
+    }
+  });
+  if (!result.hit) result.slot = 0;
+  return result;
+}
+
+TcamChip::SearchResult TcamChip::search_linear(Ipv4Address address) const {
+  SearchResult result;
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    const auto& cell = slots_[slot];
+    if (cell && cell->prefix.contains(address)) {
+      ++result.match_count;
+      if (!result.hit) {
+        result.hit = true;
+        result.slot = slot;
+        result.next_hop = cell->next_hop;
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<std::size_t> TcamChip::slot_of(const Prefix& prefix) const {
+  const auto it = slot_index_.find(prefix);
+  if (it == slot_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::size_t, TcamEntry>> TcamChip::entries() const {
+  std::vector<std::pair<std::size_t, TcamEntry>> out;
+  out.reserve(occupied_);
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot]) out.emplace_back(slot, *slots_[slot]);
+  }
+  return out;
+}
+
+}  // namespace clue::tcam

@@ -1,0 +1,171 @@
+#include "tcam/updater.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace clue::tcam {
+
+namespace {
+
+// Cost convention shared by all updaters: one entry write, one entry
+// move (relocation) and one standalone invalidate each count as one TCAM
+// operation — 24 ns apiece under the paper's CYNSE70256 model. A move
+// implicitly vacates its source, so it is *one* operation, not two.
+constexpr std::size_t kWriteCost = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NaiveUpdater — Fig. 7(a)
+
+std::size_t NaiveUpdater::total() const {
+  return std::accumulate(count_.begin(), count_.end(), std::size_t{0});
+}
+
+std::size_t NaiveUpdater::insert_position(unsigned length) const {
+  // Blocks sorted by descending length starting at slot 0; a new entry
+  // goes to the end of its own block.
+  std::size_t position = 0;
+  for (unsigned l = length; l <= Prefix::kMaxLength; ++l) {
+    position += count_[l];
+  }
+  return position;
+}
+
+std::size_t NaiveUpdater::insert(const TcamEntry& entry) {
+  if (const auto slot = chip_->slot_of(entry.prefix)) {
+    chip_->write(*slot, entry);  // next-hop change: in-place rewrite
+    return kWriteCost;
+  }
+  const std::size_t used = total();
+  if (used == chip_->capacity()) {
+    throw std::length_error("NaiveUpdater::insert: TCAM full");
+  }
+  const std::size_t position = insert_position(entry.prefix.length());
+  std::size_t operations = 0;
+  for (std::size_t slot = used; slot > position; --slot) {
+    chip_->move(slot - 1, slot);
+    ++operations;
+  }
+  chip_->write(position, entry);
+  ++count_[entry.prefix.length()];
+  return operations + kWriteCost;
+}
+
+std::size_t NaiveUpdater::erase(const Prefix& prefix) {
+  const auto slot = chip_->slot_of(prefix);
+  if (!slot) return 0;
+  const std::size_t used = total();
+  std::size_t operations = 0;
+  if (*slot == used - 1) {
+    chip_->invalidate(*slot);
+    ++operations;
+  } else {
+    chip_->invalidate(*slot);
+    ++operations;
+    for (std::size_t s = *slot + 1; s < used; ++s) {
+      chip_->move(s, s - 1);
+      ++operations;
+    }
+  }
+  --count_[prefix.length()];
+  return operations;
+}
+
+// ---------------------------------------------------------------------------
+// ShahGuptaUpdater — Fig. 7(b)
+
+std::size_t ShahGuptaUpdater::total() const {
+  return std::accumulate(count_.begin(), count_.end(), std::size_t{0});
+}
+
+std::size_t ShahGuptaUpdater::block_start(unsigned length) const {
+  std::size_t start = 0;
+  for (unsigned l = Prefix::kMaxLength; l > length; --l) start += count_[l];
+  return start;
+}
+
+std::size_t ShahGuptaUpdater::insert(const TcamEntry& entry) {
+  if (const auto slot = chip_->slot_of(entry.prefix)) {
+    chip_->write(*slot, entry);
+    return kWriteCost;
+  }
+  const std::size_t used = total();
+  if (used == chip_->capacity()) {
+    throw std::length_error("ShahGuptaUpdater::insert: TCAM full");
+  }
+  const unsigned length = entry.prefix.length();
+  // Open a hole at the end of `length`'s block by cascading one entry
+  // per non-empty block upward from the free space at the bottom: each
+  // block donates its top entry to the hole just below it (legal —
+  // same-length entries are interchangeable).
+  std::size_t hole = used;
+  std::size_t operations = 0;
+  for (unsigned l = 0; l < length; ++l) {
+    if (count_[l] == 0) continue;
+    const std::size_t src = block_start(l);
+    chip_->move(src, hole);
+    ++operations;
+    hole = src;
+  }
+  chip_->write(hole, entry);
+  ++count_[length];
+  return operations + kWriteCost;
+}
+
+std::size_t ShahGuptaUpdater::erase(const Prefix& prefix) {
+  const auto slot = chip_->slot_of(prefix);
+  if (!slot) return 0;
+  const unsigned length = prefix.length();
+  const std::size_t block_end = block_start(length) + count_[length];
+  std::size_t operations = 0;
+  std::size_t hole = block_end - 1;
+  chip_->invalidate(*slot);
+  ++operations;
+  if (*slot != hole) {
+    // Fill the victim's slot with its block's bottom entry.
+    chip_->move(hole, *slot);
+    ++operations;
+  }
+  // Cascade the hole down to the bottom so blocks stay contiguous: each
+  // non-empty block below moves its bottom entry up into the hole.
+  for (unsigned l = length; l-- > 0;) {
+    if (count_[l] == 0) continue;
+    const std::size_t bottom = block_start(l) + count_[l] - 1;
+    chip_->move(bottom, hole);
+    ++operations;
+    hole = bottom;
+  }
+  --count_[length];
+  return operations;
+}
+
+// ---------------------------------------------------------------------------
+// ClueUpdater — §IV-B
+
+std::size_t ClueUpdater::insert(const TcamEntry& entry) {
+  if (const auto slot = chip_->slot_of(entry.prefix)) {
+    chip_->write(*slot, entry);
+    return kWriteCost;
+  }
+  if (chip_->full()) {
+    throw std::length_error("ClueUpdater::insert: TCAM full");
+  }
+  chip_->write(chip_->occupied(), entry);
+  return kWriteCost;
+}
+
+std::size_t ClueUpdater::erase(const Prefix& prefix) {
+  const auto slot = chip_->slot_of(prefix);
+  if (!slot) return 0;
+  const std::size_t last = chip_->occupied() - 1;
+  if (*slot == last) {
+    chip_->invalidate(*slot);
+  } else {
+    chip_->invalidate(*slot);
+    chip_->move(last, *slot);
+  }
+  return 1;  // "cut the last prefix to replace it": one shift at most
+}
+
+}  // namespace clue::tcam

@@ -1,0 +1,101 @@
+// TCAM layout/update strategies.
+//
+// The whole point of the paper's §IV-B: how many entry movements
+// ("shifts") does one routing update cost?
+//
+//   NaiveUpdater      — fully length-sorted layout (Fig. 7a): O(n).
+//   ShahGuptaUpdater  — per-length blocks with partial order (Fig. 7b,
+//                       Shah & Gupta, Hot Interconnects 2000): at most 32
+//                       shifts, ≈15 on real update mixes. What CLPL uses.
+//   ClueUpdater       — arbitrary order, legal only for non-overlapping
+//                       tables: insert appends, delete back-fills the
+//                       hole with the last entry. At most one shift.
+//
+// Every updater owns the layout of one TcamChip and keeps LPM correct
+// under its own ordering assumptions at all times.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "tcam/tcam_chip.hpp"
+
+namespace clue::tcam {
+
+class TcamUpdater {
+ public:
+  virtual ~TcamUpdater() = default;
+
+  /// Installs (or overwrites) `entry`. Returns the number of entry
+  /// movements performed, the final write included — the quantity TTF2
+  /// charges 24 ns apiece for.
+  virtual std::size_t insert(const TcamEntry& entry) = 0;
+
+  /// Removes `prefix`. Returns entry movements (0 when absent).
+  virtual std::size_t erase(const Prefix& prefix) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  TcamChip& chip() { return *chip_; }
+  const TcamChip& chip() const { return *chip_; }
+  std::size_t size() const { return chip_->occupied(); }
+
+ protected:
+  explicit TcamUpdater(std::size_t capacity)
+      : chip_(std::make_unique<TcamChip>(capacity)) {}
+
+  std::unique_ptr<TcamChip> chip_;
+};
+
+/// Fig. 7(a): keep all entries sorted by descending prefix length in one
+/// contiguous block; an insert shifts everything below it down by one.
+class NaiveUpdater final : public TcamUpdater {
+ public:
+  explicit NaiveUpdater(std::size_t capacity) : TcamUpdater(capacity) {}
+
+  std::size_t insert(const TcamEntry& entry) override;
+  std::size_t erase(const Prefix& prefix) override;
+  std::string_view name() const override { return "naive"; }
+
+ private:
+  /// Slot where a new entry of `length` is placed (end of its block).
+  std::size_t insert_position(unsigned length) const;
+  std::size_t total() const;
+
+  std::array<std::size_t, Prefix::kMaxLength + 1> count_{};
+};
+
+/// Fig. 7(b): 33 blocks (one per prefix length, longest first); entries
+/// within a block are interchangeable, so opening/closing a hole costs
+/// one move per non-empty block crossed — ≤ 32, ≈ 15 in practice.
+class ShahGuptaUpdater final : public TcamUpdater {
+ public:
+  explicit ShahGuptaUpdater(std::size_t capacity) : TcamUpdater(capacity) {}
+
+  std::size_t insert(const TcamEntry& entry) override;
+  std::size_t erase(const Prefix& prefix) override;
+  std::string_view name() const override { return "shah-gupta"; }
+
+ private:
+  /// start slot of the block for `length` (blocks are contiguous,
+  /// descending length, starting at slot 0).
+  std::size_t block_start(unsigned length) const;
+  std::size_t total() const;
+
+  std::array<std::size_t, Prefix::kMaxLength + 1> count_{};
+};
+
+/// CLUE (§IV-B): order-free layout for non-overlapping tables. Insert is
+/// an append; delete moves the last entry into the hole. ≤ 1 shift.
+class ClueUpdater final : public TcamUpdater {
+ public:
+  explicit ClueUpdater(std::size_t capacity) : TcamUpdater(capacity) {}
+
+  std::size_t insert(const TcamEntry& entry) override;
+  std::size_t erase(const Prefix& prefix) override;
+  std::string_view name() const override { return "clue"; }
+};
+
+}  // namespace clue::tcam

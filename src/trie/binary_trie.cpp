@@ -1,0 +1,251 @@
+#include "trie/binary_trie.hpp"
+
+#include <algorithm>
+
+namespace clue::trie {
+
+BinaryTrie::Node* BinaryTrie::allocate() {
+  Node* node;
+  if (free_list_) {
+    node = free_list_;
+    free_list_ = node->child[0];
+  } else {
+    if (blocks_.empty() || blocks_.back().size() == kBlockSize) {
+      blocks_.emplace_back();
+      blocks_.back().reserve(kBlockSize);
+    }
+    blocks_.back().emplace_back();
+    node = &blocks_.back().back();
+  }
+  node->child[0] = nullptr;
+  node->child[1] = nullptr;
+  node->next_hop.reset();
+  ++node_count_;
+  return node;
+}
+
+void BinaryTrie::release(Node* node) {
+  node->child[0] = free_list_;
+  node->child[1] = nullptr;
+  free_list_ = node;
+  --node_count_;
+}
+
+BinaryTrie::Node* BinaryTrie::clone(const Node* node) {
+  if (!node) return nullptr;
+  Node* copy = allocate();
+  copy->next_hop = node->next_hop;
+  copy->child[0] = clone(node->child[0]);
+  copy->child[1] = clone(node->child[1]);
+  return copy;
+}
+
+BinaryTrie::BinaryTrie(const BinaryTrie& other) {
+  root_ = clone(other.root_);
+  route_count_ = other.route_count_;
+}
+
+BinaryTrie& BinaryTrie::operator=(const BinaryTrie& other) {
+  if (this != &other) {
+    clear();
+    root_ = clone(other.root_);
+    route_count_ = other.route_count_;
+  }
+  return *this;
+}
+
+bool BinaryTrie::insert(const Prefix& prefix, NextHop next_hop) {
+  if (!root_) root_ = allocate();
+  Node* node = root_;
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    const unsigned bit = prefix.bit(depth);
+    if (!node->child[bit]) node->child[bit] = allocate();
+    node = node->child[bit];
+  }
+  const bool created = !node->next_hop.has_value();
+  node->next_hop = next_hop;
+  if (created) ++route_count_;
+  return created;
+}
+
+bool BinaryTrie::erase(const Prefix& prefix) {
+  if (!root_) return false;
+  // Record the path so we can prune childless, route-less nodes upward.
+  Node* path[Prefix::kMaxLength + 1];
+  unsigned bits[Prefix::kMaxLength];
+  Node* node = root_;
+  path[0] = node;
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    const unsigned bit = prefix.bit(depth);
+    if (!node->child[bit]) return false;
+    node = node->child[bit];
+    bits[depth] = bit;
+    path[depth + 1] = node;
+  }
+  if (!node->next_hop.has_value()) return false;
+  node->next_hop.reset();
+  --route_count_;
+  for (unsigned depth = prefix.length(); depth > 0; --depth) {
+    Node* current = path[depth];
+    if (current->next_hop.has_value() || !current->is_leaf()) break;
+    path[depth - 1]->child[bits[depth - 1]] = nullptr;
+    release(current);
+  }
+  if (root_ && root_->is_leaf() && !root_->next_hop.has_value()) {
+    release(root_);
+    root_ = nullptr;
+  }
+  return true;
+}
+
+NextHop BinaryTrie::lookup(Ipv4Address address) const {
+  auto route = lookup_route(address);
+  return route ? route->next_hop : netbase::kNoRoute;
+}
+
+std::optional<Route> BinaryTrie::lookup_route(Ipv4Address address) const {
+  const Node* node = root_;
+  std::optional<Route> best;
+  std::uint32_t bits = 0;
+  unsigned depth = 0;
+  while (node) {
+    if (node->next_hop) {
+      best = Route{Prefix(Ipv4Address(bits), depth), *node->next_hop};
+    }
+    if (depth == Prefix::kMaxLength) break;
+    const unsigned bit = address.bit(depth);
+    node = node->child[bit];
+    if (bit) bits |= 1u << (31u - depth);
+    ++depth;
+  }
+  return best;
+}
+
+void BinaryTrie::for_each_match(
+    Ipv4Address address,
+    const std::function<void(const Route&)>& visit) const {
+  const Node* node = root_;
+  std::uint32_t bits = 0;
+  unsigned depth = 0;
+  while (node) {
+    if (node->next_hop) {
+      visit(Route{Prefix(Ipv4Address(bits), depth), *node->next_hop});
+    }
+    if (depth == Prefix::kMaxLength) break;
+    const unsigned bit = address.bit(depth);
+    node = node->child[bit];
+    if (bit) bits |= 1u << (31u - depth);
+    ++depth;
+  }
+}
+
+std::optional<NextHop> BinaryTrie::find(const Prefix& prefix) const {
+  const Node* node = node_at(prefix);
+  if (!node || !node->next_hop) return std::nullopt;
+  return node->next_hop;
+}
+
+namespace {
+
+void visit_routes(const BinaryTrie::Node* node, std::uint32_t bits,
+                  unsigned depth,
+                  const std::function<void(const Route&)>& visit) {
+  if (!node) return;
+  if (node->next_hop) {
+    visit(Route{Prefix(Ipv4Address(bits), depth), *node->next_hop});
+  }
+  visit_routes(node->child[0], bits, depth + 1, visit);
+  if (depth < Prefix::kMaxLength) {
+    visit_routes(node->child[1], bits | (1u << (31u - depth)), depth + 1,
+                 visit);
+  }
+}
+
+bool check_disjoint(const BinaryTrie::Node* node, bool covered) {
+  if (!node) return true;
+  if (node->next_hop && covered) return false;
+  const bool now_covered = covered || node->next_hop.has_value();
+  return check_disjoint(node->child[0], now_covered) &&
+         check_disjoint(node->child[1], now_covered);
+}
+
+}  // namespace
+
+void BinaryTrie::for_each_route(
+    const std::function<void(const Route&)>& visit) const {
+  visit_routes(root_, 0, 0, visit);
+}
+
+std::vector<Route> BinaryTrie::routes() const {
+  std::vector<Route> out;
+  out.reserve(route_count_);
+  for_each_route([&out](const Route& route) { out.push_back(route); });
+  return out;
+}
+
+bool BinaryTrie::is_disjoint() const { return check_disjoint(root_, false); }
+
+const BinaryTrie::Node* BinaryTrie::node_at(const Prefix& prefix) const {
+  const Node* node = root_;
+  for (unsigned depth = 0; node && depth < prefix.length(); ++depth) {
+    node = node->child[prefix.bit(depth)];
+  }
+  return node;
+}
+
+std::vector<Route> BinaryTrie::routes_within(const Prefix& within) const {
+  std::vector<Route> out;
+  visit_routes(node_at(within), within.bits(), within.length(),
+               [&out](const Route& route) { out.push_back(route); });
+  return out;
+}
+
+NextHop BinaryTrie::longest_match_above(const Prefix& prefix) const {
+  const Node* node = root_;
+  NextHop best = netbase::kNoRoute;
+  for (unsigned depth = 0; node && depth < prefix.length(); ++depth) {
+    if (node->next_hop) best = *node->next_hop;
+    node = node->child[prefix.bit(depth)];
+  }
+  return best;
+}
+
+void BinaryTrie::clear() {
+  root_ = nullptr;
+  route_count_ = 0;
+  node_count_ = 0;
+  free_list_ = nullptr;
+  blocks_.clear();
+}
+
+void LinearFib::insert(const Prefix& prefix, NextHop next_hop) {
+  for (auto& route : routes_) {
+    if (route.prefix == prefix) {
+      route.next_hop = next_hop;
+      return;
+    }
+  }
+  routes_.push_back(Route{prefix, next_hop});
+}
+
+bool LinearFib::erase(const Prefix& prefix) {
+  const auto it =
+      std::find_if(routes_.begin(), routes_.end(),
+                   [&](const Route& r) { return r.prefix == prefix; });
+  if (it == routes_.end()) return false;
+  routes_.erase(it);
+  return true;
+}
+
+NextHop LinearFib::lookup(Ipv4Address address) const {
+  const Route* best = nullptr;
+  for (const auto& route : routes_) {
+    if (route.prefix.contains(address) &&
+        (!best || route.prefix.length() > best->prefix.length())) {
+      best = &route;
+    }
+  }
+  return best ? best->next_hop : netbase::kNoRoute;
+}
+
+}  // namespace clue::trie

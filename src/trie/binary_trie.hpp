@@ -1,0 +1,136 @@
+// Unibit binary trie over IPv4 prefixes.
+//
+// This is the control-plane representation of the FIB: the ground truth
+// that ONRTC compresses, that partition algorithms traverse, and that
+// RRC-ME walks to compute cacheable prefixes. One node per prefix on a
+// path; a node may or may not carry a route (next hop).
+//
+// Nodes come from a per-trie arena with a free list: route churn (the
+// paper's 35K updates/s regime) must not pay one heap allocation per
+// path node, and on a 400K-route table the arena keeps neighbours
+// adjacent in memory, which matters for the walk-heavy algorithms.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace clue::trie {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+class BinaryTrie {
+ public:
+  struct Node {
+    Node* child[2] = {nullptr, nullptr};
+    std::optional<NextHop> next_hop;
+
+    bool is_leaf() const { return !child[0] && !child[1]; }
+  };
+
+  BinaryTrie() = default;
+  ~BinaryTrie() = default;  // arena owns all nodes
+
+  // Deep copy; used by experiments that mutate a shared base table.
+  BinaryTrie(const BinaryTrie& other);
+  BinaryTrie& operator=(const BinaryTrie& other);
+  BinaryTrie(BinaryTrie&&) noexcept = default;
+  BinaryTrie& operator=(BinaryTrie&&) noexcept = default;
+
+  /// Inserts or overwrites the route for `prefix`.
+  /// Returns true when a new route was created, false when an existing
+  /// route's next hop was replaced.
+  bool insert(const Prefix& prefix, NextHop next_hop);
+
+  /// Removes the route for `prefix` (exact match on prefix, not LPM).
+  /// Returns true when a route was removed. Prunes now-useless nodes.
+  bool erase(const Prefix& prefix);
+
+  /// Longest-prefix-match lookup; kNoRoute when nothing matches.
+  NextHop lookup(Ipv4Address address) const;
+
+  /// Longest-prefix-match returning the winning route itself.
+  std::optional<Route> lookup_route(Ipv4Address address) const;
+
+  /// Exact-match query: the next hop stored at `prefix`, if any.
+  std::optional<NextHop> find(const Prefix& prefix) const;
+
+  /// Invokes `visit` for every stored route whose prefix contains
+  /// `address`, shortest first (there are at most 33).
+  void for_each_match(Ipv4Address address,
+                      const std::function<void(const Route&)>& visit) const;
+
+  /// Number of routes (nodes carrying a next hop).
+  std::size_t size() const { return route_count_; }
+  bool empty() const { return route_count_ == 0; }
+
+  /// Number of live trie nodes (root included when present).
+  std::size_t node_count() const { return node_count_; }
+
+  /// Invokes `visit(route)` for every route in in-order (address-sorted,
+  /// shorter prefix before its descendants) order.
+  void for_each_route(const std::function<void(const Route&)>& visit) const;
+
+  /// All routes, in in-order traversal order.
+  std::vector<Route> routes() const;
+
+  /// True when no stored route's prefix contains another stored route's
+  /// prefix — the invariant ONRTC-compressed tables maintain.
+  bool is_disjoint() const;
+
+  /// Removes all routes and returns the arena to empty.
+  void clear();
+
+  /// Root node, for algorithms (ONRTC, partitioning, RRC-ME) that need
+  /// structural access. Null for an empty trie.
+  const Node* root() const { return root_; }
+
+  /// The node whose path spells `prefix`, or null when no stored route
+  /// lies at or below `prefix` (nodes exist only on paths to routes).
+  const Node* node_at(const Prefix& prefix) const;
+
+  /// All routes whose prefix is contained in `within`, in-order.
+  std::vector<Route> routes_within(const Prefix& within) const;
+
+  /// The next hop a lookup would inherit from the *strict* ancestors of
+  /// `prefix` — i.e. the LPM answer just above it. kNoRoute when none.
+  NextHop longest_match_above(const Prefix& prefix) const;
+
+ private:
+  Node* allocate();
+  void release(Node* node);  // node must be childless
+  Node* clone(const Node* node);
+
+  Node* root_ = nullptr;
+  std::size_t route_count_ = 0;
+  std::size_t node_count_ = 0;
+
+  // Arena: stable block storage plus an intrusive free list threaded
+  // through child[0].
+  std::deque<std::vector<Node>> blocks_;
+  Node* free_list_ = nullptr;
+  static constexpr std::size_t kBlockSize = 1024;
+};
+
+/// A linear-scan FIB used as a differential-testing oracle: stores routes
+/// in a flat vector and answers LPM by scanning all of them.
+class LinearFib {
+ public:
+  void insert(const Prefix& prefix, NextHop next_hop);
+  bool erase(const Prefix& prefix);
+  NextHop lookup(Ipv4Address address) const;
+  std::size_t size() const { return routes_.size(); }
+  const std::vector<Route>& routes() const { return routes_; }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace clue::trie

@@ -1,0 +1,135 @@
+#include "trie/multibit_trie.hpp"
+
+namespace clue::trie {
+
+namespace {
+
+/// Byte `level` of the address/prefix bits (0 = most significant).
+unsigned byte_at(std::uint32_t bits, unsigned level) {
+  return (bits >> (24u - 8u * level)) & 0xFFu;
+}
+
+}  // namespace
+
+MultibitTrie::MultibitTrie() {
+  nodes_.emplace_back();  // index 0: "no child" sentinel, never used
+  nodes_.emplace_back();  // index 1: root
+}
+
+std::uint32_t MultibitTrie::ensure_node(const Prefix& prefix,
+                                        unsigned level) {
+  std::uint32_t index = 1;
+  for (unsigned walk = 0; walk < level; ++walk) {
+    const unsigned slot = byte_at(prefix.bits(), walk);
+    Entry& entry = nodes_[index].slots[slot];
+    if (entry.child == 0) {
+      nodes_.emplace_back();
+      entry.child = static_cast<std::uint32_t>(nodes_.size()) - 1;
+    }
+    index = entry.child;
+  }
+  return index;
+}
+
+std::uint32_t MultibitTrie::find_node(const Prefix& prefix,
+                                      unsigned level) const {
+  std::uint32_t index = 1;
+  for (unsigned walk = 0; walk < level; ++walk) {
+    const unsigned slot = byte_at(prefix.bits(), walk);
+    index = nodes_[index].slots[slot].child;
+    if (index == 0) return 0;
+  }
+  return index;
+}
+
+template <typename Fn>
+void MultibitTrie::for_each_slot(Node& node, const Prefix& prefix,
+                                 unsigned level, Fn&& apply) {
+  const unsigned local_bits =
+      prefix.length() == 0 ? 0 : prefix.length() - level * kStride;
+  const unsigned base =
+      local_bits == 0 ? 0
+                      : byte_at(prefix.bits(), level) &
+                            (0xFFu << (kStride - local_bits));
+  const unsigned count = 1u << (kStride - local_bits);
+  for (unsigned slot = base; slot < base + count; ++slot) {
+    apply(node.slots[slot]);
+  }
+}
+
+bool MultibitTrie::insert(const Prefix& prefix, NextHop next_hop) {
+  const bool created = source_.insert(prefix, next_hop);
+  const unsigned level = level_of(prefix);
+  Node& node = nodes_[ensure_node(prefix, level)];
+  const auto local_len = static_cast<std::int8_t>(prefix.length());
+  for_each_slot(node, prefix, level, [&](Entry& entry) {
+    if (local_len >= entry.covering_len) {
+      entry.covering_len = local_len;
+      entry.hop = next_hop;
+    }
+  });
+  return created;
+}
+
+void MultibitTrie::recompute_slot(Node& node, unsigned slot,
+                                  const Prefix& node_prefix, unsigned level) {
+  // Longest route stored at this level covering `slot`: walk the ground
+  // truth down the slot's 8 bits from the node's root.
+  Entry& entry = node.slots[slot];
+  const std::uint32_t child = entry.child;  // children are unaffected
+  entry = Entry{};
+  entry.child = child;
+  const BinaryTrie::Node* walk = source_.node_at(node_prefix);
+  unsigned depth = node_prefix.length();
+  std::uint32_t bits =
+      node_prefix.bits() | (slot << (24u - 8u * level));
+  // A /0 route lives at level 0 depth 0 — handled by the loop's first
+  // check since node_prefix is then the empty prefix.
+  while (walk) {
+    if (walk->next_hop && depth >= level * kStride) {
+      // Level-local candidate (lengths (level*8 .. level*8+8], plus the
+      // /0 special case at level 0).
+      if (depth > level * kStride || depth == 0) {
+        entry.covering_len = static_cast<std::int8_t>(depth);
+        entry.hop = *walk->next_hop;
+      }
+    }
+    if (depth == (level + 1) * kStride) break;
+    walk = walk->child[(bits >> (31u - depth)) & 1u];
+    ++depth;
+  }
+}
+
+bool MultibitTrie::erase(const Prefix& prefix) {
+  if (!source_.erase(prefix)) return false;
+  const unsigned level = level_of(prefix);
+  const std::uint32_t index = find_node(prefix, level);
+  if (index == 0) return true;  // defensive: path should exist
+  Node& node = nodes_[index];
+  const Prefix node_prefix(prefix.address(), level * kStride);
+  const unsigned local_bits =
+      prefix.length() == 0 ? 0 : prefix.length() - level * kStride;
+  const unsigned base =
+      local_bits == 0 ? 0
+                      : byte_at(prefix.bits(), level) &
+                            (0xFFu << (kStride - local_bits));
+  const unsigned count = 1u << (kStride - local_bits);
+  for (unsigned slot = base; slot < base + count; ++slot) {
+    recompute_slot(node, slot, node_prefix, level);
+  }
+  return true;
+}
+
+NextHop MultibitTrie::lookup(Ipv4Address address) const {
+  NextHop best = netbase::kNoRoute;
+  std::uint32_t index = 1;
+  for (unsigned level = 0; level < kLevels && index != 0; ++level) {
+    const Entry& entry =
+        nodes_[index].slots[byte_at(address.value(), level)];
+    if (entry.covering_len >= 0) best = entry.hop;
+    index = entry.child;
+  }
+  return best;
+}
+
+}  // namespace clue::trie

@@ -1,0 +1,81 @@
+// Stride-8 multibit trie with controlled prefix expansion.
+//
+// The software-lookup companion to BinaryTrie: at most four node visits
+// per LPM instead of up to 32, the structure a control plane uses when
+// it must answer lookups itself at line rate (e.g. the slow path that
+// resolves DRed misses while the TCAM is being updated). Prefixes whose
+// length is not a multiple of 8 are expanded within their node
+// (Srinivasan & Varghese's controlled prefix expansion), so each node is
+// one 256-way array scan-free lookup.
+//
+// Updates: insert expands into the affected slot range; erase recomputes
+// that range from a companion ground-truth BinaryTrie (exactly the
+// "expansion makes deletion hard" trade-off the literature describes —
+// we pay it in the control plane where it belongs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "trie/binary_trie.hpp"
+
+namespace clue::trie {
+
+class MultibitTrie {
+ public:
+  static constexpr unsigned kStride = 8;
+  static constexpr unsigned kLevels = 4;
+
+  MultibitTrie();
+
+  /// Inserts or overwrites; returns true when the route is new.
+  bool insert(const Prefix& prefix, NextHop next_hop);
+
+  /// Exact-prefix removal; returns true when a route was removed.
+  bool erase(const Prefix& prefix);
+
+  /// Longest-prefix match in at most kLevels node visits.
+  NextHop lookup(Ipv4Address address) const;
+
+  std::size_t size() const { return source_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// The ground-truth unibit view (useful for exports/validation).
+  const BinaryTrie& source() const { return source_; }
+
+ private:
+  struct Entry {
+    NextHop hop = netbase::kNoRoute;
+    std::int8_t covering_len = -1;  ///< longest level-local prefix length
+    std::uint32_t child = 0;        ///< index into nodes_; 0 = none
+  };
+  struct Node {
+    std::array<Entry, 1u << kStride> slots{};
+  };
+
+  /// Level a prefix is stored at: (len-1)/8, with /0 at level 0.
+  static unsigned level_of(const Prefix& prefix) {
+    return prefix.length() == 0 ? 0 : (prefix.length() - 1) / kStride;
+  }
+
+  /// Walks/creates the node path for `prefix`, returning its node index.
+  std::uint32_t ensure_node(const Prefix& prefix, unsigned level);
+  /// Node index for `prefix`'s level, or 0-as-none when absent.
+  std::uint32_t find_node(const Prefix& prefix, unsigned level) const;
+
+  /// Applies `prefix`'s expansion range to `apply(entry)`.
+  template <typename Fn>
+  void for_each_slot(Node& node, const Prefix& prefix, unsigned level,
+                     Fn&& apply);
+
+  /// Recomputes one slot of `node` (at `level`, under `node_prefix`)
+  /// from the ground truth.
+  void recompute_slot(Node& node, unsigned slot, const Prefix& node_prefix,
+                      unsigned level);
+
+  std::deque<Node> nodes_;  // nodes_[0] unused sentinel, nodes_[1] = root
+  BinaryTrie source_;
+};
+
+}  // namespace clue::trie

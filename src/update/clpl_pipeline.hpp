@@ -1,0 +1,50 @@
+// ClplPipeline — the baseline whole-path update: uncompressed trie ->
+// Shah-Gupta partial-order TCAM -> RRC-ME logical caches.
+//
+// This is the configuration the paper charges CLPL with in Figs. 10-14:
+//   TTF1 — measured wall time of a plain (uncompressed) trie update;
+//   TTF2 — Shah-Gupta block cascade, ≈15 shifts × 24 ns on real mixes;
+//   TTF3 — RRC-ME cache maintenance: a control-plane SRAM walk of the
+//          changed region plus one TCAM probe per stale cached prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/dred.hpp"
+#include "tcam/updater.hpp"
+#include "trie/binary_trie.hpp"
+#include "update/clue_pipeline.hpp"  // PipelineConfig
+#include "update/cost_model.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue::update {
+
+class ClplPipeline {
+ public:
+  ClplPipeline(const trie::BinaryTrie& fib, const PipelineConfig& config);
+
+  TtfSample apply(const workload::UpdateMsg& message);
+
+  /// Populates the logical caches through RRC-ME, as lookup traffic
+  /// would (every fill goes to all caches — CLPL has no exclusion rule).
+  void warm(const std::vector<Ipv4Address>& addresses);
+
+  netbase::NextHop lookup(netbase::Ipv4Address address);
+
+  const trie::BinaryTrie& fib() const { return fib_; }
+  const tcam::TcamChip& chip() const { return tcam_->chip(); }
+  const engine::DredStore& cache(std::size_t i) const { return *caches_[i]; }
+  std::size_t cache_count() const { return caches_.size(); }
+
+ private:
+  /// Nodes at/below `prefix` (the subtree RRC-ME's invalidation walks).
+  std::size_t subtree_nodes(const netbase::Prefix& prefix) const;
+
+  trie::BinaryTrie fib_;
+  std::unique_ptr<tcam::ShahGuptaUpdater> tcam_;
+  std::vector<std::unique_ptr<engine::DredStore>> caches_;
+};
+
+}  // namespace clue::update

@@ -1,0 +1,61 @@
+// CluePipeline — the paper's whole-path incremental update (Fig. 6),
+// CLUE flavour: ONRTC-compressed trie -> order-free TCAM -> DRed.
+//
+// apply() pushes one BGP update end to end and returns its TTF split:
+//   TTF1 — measured wall time of the incremental ONRTC trie update;
+//   TTF2 — TCAM operations × 24 ns (ClueUpdater: ≤1 shift per diff op);
+//   TTF3 — DRed synchronisation: inserts need nothing, deletes/modifies
+//          are one parallel probe across all DReds (24 ns per diff op).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/dred.hpp"
+#include "onrtc/compressed_fib.hpp"
+#include "tcam/updater.hpp"
+#include "update/cost_model.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue::update {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+
+struct PipelineConfig {
+  /// 0 = size automatically (table size + 50 % update headroom).
+  std::size_t tcam_capacity = 0;
+  std::size_t dred_count = 4;
+  std::size_t dred_capacity = 1024;
+};
+
+class CluePipeline {
+ public:
+  CluePipeline(const trie::BinaryTrie& fib, const PipelineConfig& config);
+
+  /// Applies one update message through trie, TCAM and DRed.
+  TtfSample apply(const workload::UpdateMsg& message);
+
+  /// Simulates lookup traffic to populate the DReds the way a running
+  /// engine would (each matched region cached in all DReds but one,
+  /// round-robin over the "home" chip).
+  void warm(const std::vector<Ipv4Address>& addresses);
+
+  /// Data-plane lookup straight from the TCAM chip.
+  NextHop lookup(Ipv4Address address);
+
+  const onrtc::CompressedFib& fib() const { return fib_; }
+  const tcam::TcamChip& chip() const { return tcam_->chip(); }
+  const engine::DredStore& dred(std::size_t i) const { return *dreds_[i]; }
+  std::size_t dred_count() const { return dreds_.size(); }
+
+ private:
+  onrtc::CompressedFib fib_;
+  std::unique_ptr<tcam::ClueUpdater> tcam_;
+  std::vector<std::unique_ptr<engine::DredStore>> dreds_;
+  std::size_t warm_cursor_ = 0;
+};
+
+}  // namespace clue::update

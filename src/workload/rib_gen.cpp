@@ -1,0 +1,132 @@
+#include "workload/rib_gen.hpp"
+
+#include <array>
+
+namespace clue::workload {
+
+const std::vector<RouterProfile>& paper_routers() {
+  static const std::vector<RouterProfile> routers = {
+      {"rrc01", "LINX, London", 380'000, 36, 101},
+      {"rrc03", "AMS-IX, Amsterdam", 395'000, 40, 103},
+      {"rrc04", "CIXP, Geneva", 372'000, 30, 104},
+      {"rrc05", "VIX, Vienna", 368'000, 28, 105},
+      {"rrc06", "Otemachi, Japan", 355'000, 24, 106},
+      {"rrc07", "Stockholm, Sweden", 377'000, 30, 107},
+      {"rrc11", "New York (NY), USA", 398'000, 42, 111},
+      {"rrc12", "Frankfurt, Germany", 402'000, 44, 112},
+      {"rrc13", "Moscow, Russia", 362'000, 26, 113},
+      {"rrc14", "Palo Alto, USA", 385'000, 38, 114},
+      {"rrc15", "Sao Paulo, Brazil", 350'000, 22, 115},
+      {"rrc16", "Miami, USA", 381'000, 34, 116},
+  };
+  return routers;
+}
+
+unsigned sample_prefix_length(netbase::Pcg32& rng) {
+  // Empirical 2011 default-free-zone histogram (per-mille weights).
+  // Mode at /24; /16 and the /19-/23 band carry most of the rest.
+  static constexpr std::array<std::pair<unsigned, unsigned>, 18> kWeights = {{
+      {8, 2},   {10, 2},  {11, 3},  {12, 5},  {13, 8},  {14, 12},
+      {15, 14}, {16, 70}, {17, 24}, {18, 34}, {19, 45}, {20, 58},
+      {21, 62}, {22, 92}, {23, 90}, {24, 465}, {25, 6},  {26, 8},
+  }};
+  static constexpr unsigned kTotal = [] {
+    unsigned total = 0;
+    for (const auto& [length, weight] : kWeights) total += weight;
+    return total;
+  }();
+  unsigned draw = rng.next_below(kTotal);
+  for (const auto& [length, weight] : kWeights) {
+    if (draw < weight) return length;
+    draw -= weight;
+  }
+  return 24;  // unreachable
+}
+
+namespace {
+
+// Real address plans concentrate: registries handed whole /8s to a few
+// regions, multicast/reserved space is empty, and the populated octets
+// cluster. This skew is what defeats ID-bit partitioning (Fig. 9), so
+// the generator must reproduce it: 70 % of blocks land in the "dense"
+// unicast bands, the rest spread over the remaining legacy space.
+std::uint32_t sample_block_bits(netbase::Pcg32& rng) {
+  std::uint32_t octet;
+  if (rng.chance(0.7)) {
+    // Dense bands (APNIC/RIPE-era space): 58..125 and 172..222.
+    octet = rng.chance(0.55) ? 58 + rng.next_below(68)
+                             : 172 + rng.next_below(51);
+  } else {
+    octet = 1 + rng.next_below(223);  // anything unicast
+  }
+  return (octet << 24) | (rng.next() & 0x00FFFFFFu);
+}
+
+}  // namespace
+
+trie::BinaryTrie generate_rib(const RibConfig& config) {
+  netbase::Pcg32 rng(config.seed, 0x9e3779b97f4a7c15ULL);
+  trie::BinaryTrie fib;
+
+  const auto random_next_hop = [&rng, &config] {
+    return netbase::make_next_hop(1 + rng.next_below(config.next_hops));
+  };
+
+  while (fib.size() < config.table_size) {
+    // A sprinkle of standalone legacy allocations (/8../15) keeps every
+    // short length block populated — real tables always have them and
+    // they dominate Shah-Gupta's per-update block-cascade cost.
+    if (rng.chance(0.004)) {
+      const unsigned short_length = 8 + rng.next_below(8);
+      fib.insert(
+          Prefix(netbase::Ipv4Address(sample_block_bits(rng)), short_length),
+          random_next_hop());
+      continue;
+    }
+    // One allocation "super-block": a /12../16 region handled mostly by
+    // one peer, filled with runs of consecutive prefixes (the shape real
+    // registries hand out address space in).
+    const unsigned block_length = 14 + rng.next_below(5);
+    const Prefix block(netbase::Ipv4Address(sample_block_bits(rng)),
+                       block_length);
+    const NextHop dominant = random_next_hop();
+
+    if (rng.chance(config.aggregate_share * 2.0)) {
+      fib.insert(block, dominant);
+    }
+
+    const std::size_t block_quota = 8 + rng.next_below(33);  // 8..40 routes
+    std::size_t emitted = 0;
+    while (emitted < block_quota && fib.size() < config.table_size) {
+      unsigned length = sample_prefix_length(rng);
+      if (length <= block_length) length = block_length + 4;
+      // Run of consecutive prefixes of this length, mostly dominant hop.
+      const std::uint32_t span = 32 - length;
+      const std::uint32_t slots_in_block =
+          std::uint32_t{1} << (length - block_length);
+      std::uint32_t slot = rng.next_below(slots_in_block);
+      const std::size_t run = 1 + rng.next_below(7);  // 1..7 consecutive
+      for (std::size_t r = 0; r < run && emitted < block_quota; ++r) {
+        if (slot >= slots_in_block) break;
+        const std::uint32_t bits = block.bits() | (slot << span);
+        const NextHop hop =
+            rng.chance(config.locality) ? dominant : random_next_hop();
+        if (fib.insert(Prefix(netbase::Ipv4Address(bits), length), hop)) {
+          ++emitted;
+        }
+        ++slot;
+      }
+    }
+  }
+  return fib;
+}
+
+trie::BinaryTrie generate_rib(const RouterProfile& profile) {
+  RibConfig config;
+  config.table_size = profile.table_size;
+  config.next_hops = profile.next_hops;
+  config.seed = profile.seed;
+  return generate_rib(config);
+}
+
+}  // namespace clue::workload

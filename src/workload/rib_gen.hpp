@@ -1,0 +1,67 @@
+// Synthetic RIB generation.
+//
+// Stand-in for the RIPE RIS tables of Table I (the 2011-10-01 08:00 RIBs
+// are not redistributable here). The generator reproduces the two
+// properties the paper's numbers actually depend on:
+//
+//  * the empirical prefix-length histogram of 2011 BGP tables (mode at
+//    /24, secondary masses at /16 and /19-/23), which drives partition
+//    and TCAM-update behaviour; and
+//  * spatial next-hop correlation — neighbouring prefixes usually leave
+//    through the same peer because they belong to the same region/AS —
+//    which is what makes ONRTC compression land near the paper's 71 %.
+//
+// Each router profile gets its own seed, size and peer count, so the 12
+// bars of Fig. 8 differ the way 12 real collectors differ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "netbase/rng.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::workload {
+
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+/// One simulated collector (Table I stand-in).
+struct RouterProfile {
+  std::string id;        ///< e.g. "rrc01"
+  std::string location;  ///< e.g. "LINX, London"
+  std::size_t table_size;
+  std::uint32_t next_hops;  ///< number of distinct peers
+  std::uint64_t seed;
+};
+
+/// The 12 routers of the paper's Table I with plausible 2011-era sizes.
+const std::vector<RouterProfile>& paper_routers();
+
+struct RibConfig {
+  std::size_t table_size = 400'000;
+  std::uint32_t next_hops = 32;
+  std::uint64_t seed = 1;
+  /// Probability that a prefix inherits its enclosing super-block's
+  /// dominant next hop (spatial correlation knob; higher = more
+  /// compressible). 0.875 calibrates ONRTC compression to the paper's
+  /// measured 71 % average over the Table-I routers.
+  double locality = 0.875;
+  /// Fraction of routes that are short covering aggregates, creating the
+  /// parent/child overlap real tables have.
+  double aggregate_share = 0.08;
+};
+
+/// Generates a synthetic FIB. Deterministic in `config.seed`.
+trie::BinaryTrie generate_rib(const RibConfig& config);
+
+/// Convenience: the FIB of one Table-I router.
+trie::BinaryTrie generate_rib(const RouterProfile& profile);
+
+/// Draws a prefix length from the empirical 2011 BGP histogram.
+unsigned sample_prefix_length(netbase::Pcg32& rng);
+
+}  // namespace clue::workload

@@ -1,0 +1,110 @@
+#include "workload/rib_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+namespace clue::workload {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+RibParseResult read_rib(std::istream& in) {
+  RibParseResult result;
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::string_view content = trim(line);
+    if (content.empty() || content.front() == '#') continue;
+
+    const auto space = content.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      result.errors.push_back({number, line, "missing next-hop field"});
+      continue;
+    }
+    const auto prefix = netbase::Prefix::parse(content.substr(0, space));
+    if (!prefix) {
+      result.errors.push_back({number, line, "unparsable prefix"});
+      continue;
+    }
+    const std::string_view hop_text = trim(content.substr(space + 1));
+    std::uint32_t hop = 0;
+    const auto [end, ec] = std::from_chars(
+        hop_text.data(), hop_text.data() + hop_text.size(), hop);
+    if (ec != std::errc{} || end != hop_text.data() + hop_text.size() ||
+        hop == 0) {
+      result.errors.push_back(
+          {number, line, "next hop must be a positive integer"});
+      continue;
+    }
+    result.routes.push_back(
+        netbase::Route{*prefix, netbase::make_next_hop(hop)});
+  }
+  return result;
+}
+
+void write_rib(std::ostream& out,
+               const std::vector<netbase::Route>& routes) {
+  for (const auto& route : routes) {
+    out << route.prefix.to_string() << ' '
+        << netbase::to_index(route.next_hop) << '\n';
+  }
+}
+
+std::vector<netbase::Ipv4Address> read_trace(std::istream& in) {
+  std::vector<netbase::Ipv4Address> out;
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::string_view content = trim(line);
+    if (content.empty() || content.front() == '#') continue;
+    const auto address = netbase::Ipv4Address::parse(content);
+    if (!address) {
+      throw std::runtime_error("trace parse error at line " +
+                               std::to_string(number) + ": " + line);
+    }
+    out.push_back(*address);
+  }
+  return out;
+}
+
+void write_trace(std::ostream& out,
+                 const std::vector<netbase::Ipv4Address>& addresses) {
+  for (const auto address : addresses) {
+    out << address.to_string() << '\n';
+  }
+}
+
+trie::BinaryTrie read_rib_trie(std::istream& in) {
+  const auto parsed = read_rib(in);
+  if (!parsed.ok()) {
+    const auto& first = parsed.errors.front();
+    throw std::runtime_error("RIB parse error at line " +
+                             std::to_string(first.line) + ": " +
+                             first.reason + " (" + first.text + ")");
+  }
+  trie::BinaryTrie fib;
+  for (const auto& route : parsed.routes) {
+    fib.insert(route.prefix, route.next_hop);
+  }
+  return fib;
+}
+
+}  // namespace clue::workload

@@ -1,0 +1,52 @@
+// Plain-text RIB serialization.
+//
+// One route per line: "<prefix> <next-hop-id>", '#' comments and blank
+// lines ignored. This is the interchange format of the `fib_tool`
+// example and lets users feed their own tables (e.g. converted RIPE
+// dumps) into every algorithm in the library.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::workload {
+
+struct RibParseError {
+  std::size_t line = 0;    ///< 1-based line number
+  std::string text;        ///< offending line content
+  std::string reason;
+};
+
+struct RibParseResult {
+  std::vector<netbase::Route> routes;
+  std::vector<RibParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses a RIB stream. Malformed lines are collected, not thrown: a
+/// 400K-line table with three bad lines should load, with the damage
+/// reported.
+RibParseResult read_rib(std::istream& in);
+
+/// Writes one route per line, in the order given.
+void write_rib(std::ostream& out, const std::vector<netbase::Route>& routes);
+
+/// Convenience: parse into a trie, ignoring nothing — any error throws
+/// std::runtime_error with the first offending line.
+trie::BinaryTrie read_rib_trie(std::istream& in);
+
+/// Traffic traces: one destination address per line (dotted quad),
+/// '#' comments and blank lines ignored. Malformed lines throw
+/// std::runtime_error with the line number — a trace with holes would
+/// silently skew every downstream measurement.
+std::vector<netbase::Ipv4Address> read_trace(std::istream& in);
+void write_trace(std::ostream& out,
+                 const std::vector<netbase::Ipv4Address>& addresses);
+
+}  // namespace clue::workload

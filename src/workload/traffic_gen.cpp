@@ -1,0 +1,75 @@
+#include "workload/traffic_gen.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace clue::workload {
+
+TrafficGenerator::TrafficGenerator(std::vector<netbase::Prefix> prefixes,
+                                   const TrafficConfig& config)
+    : prefixes_(std::move(prefixes)),
+      zipf_(prefixes_.empty() ? 1 : prefixes_.size(), config.zipf_skew),
+      rng_(config.seed, 0x5851f42d4c957f2dULL),
+      rank_to_prefix_(prefixes_.size()),
+      burst_period_(config.burst_period),
+      cluster_locality_(config.cluster_locality) {
+  if (prefixes_.empty()) {
+    throw std::invalid_argument("TrafficGenerator: prefix set is empty");
+  }
+  std::iota(rank_to_prefix_.begin(), rank_to_prefix_.end(), 0u);
+  rotate_hot_set();
+}
+
+void TrafficGenerator::rotate_hot_set() {
+  // Fisher-Yates: re-deal which prefixes occupy the hot Zipf ranks.
+  for (std::size_t i = rank_to_prefix_.size(); i > 1; --i) {
+    const std::size_t j = rng_.next_below(static_cast<std::uint32_t>(i));
+    std::swap(rank_to_prefix_[i - 1], rank_to_prefix_[j]);
+  }
+  if (cluster_locality_ <= 0.0 || rank_to_prefix_.size() < 3) return;
+  // Re-deal with spatial clustering: consecutive ranks usually walk to
+  // the next prefix in address order, occasionally jump elsewhere. This
+  // turns the hot head of the Zipf distribution into a few contiguous
+  // hot address regions.
+  const std::size_t n = rank_to_prefix_.size();
+  std::vector<bool> used(n, false);
+  std::size_t cursor = rng_.next_below(static_cast<std::uint32_t>(n));
+  const auto next_free_from = [&used, n](std::size_t start) {
+    std::size_t i = start;
+    while (used[i]) i = (i + 1) % n;
+    return i;
+  };
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    cursor = next_free_from(cursor);
+    rank_to_prefix_[rank] = static_cast<std::uint32_t>(cursor);
+    used[cursor] = true;
+    if (!rng_.chance(cluster_locality_)) {
+      cursor = rng_.next_below(static_cast<std::uint32_t>(n));
+    }
+  }
+}
+
+netbase::Ipv4Address TrafficGenerator::next() {
+  if (burst_period_ != 0 && ++since_rotation_ >= burst_period_) {
+    since_rotation_ = 0;
+    rotate_hot_set();
+  }
+  const auto& prefix = prefixes_[rank_to_prefix_[zipf_.sample(rng_)]];
+  std::uint32_t offset = 0;
+  if (prefix.length() == 0) {
+    offset = rng_.next();
+  } else if (prefix.length() < 32) {
+    offset = rng_.next_below(std::uint32_t{1} << (32 - prefix.length()));
+  }
+  return netbase::Ipv4Address(prefix.bits() | offset);
+}
+
+std::vector<netbase::Ipv4Address> TrafficGenerator::generate(
+    std::size_t count) {
+  std::vector<netbase::Ipv4Address> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace clue::workload

@@ -1,0 +1,106 @@
+#include "workload/update_gen.hpp"
+
+#include <stdexcept>
+
+namespace clue::workload {
+
+using netbase::make_next_hop;
+using netbase::Prefix;
+using netbase::Route;
+
+UpdateGenerator::UpdateGenerator(const trie::BinaryTrie& fib,
+                                 const UpdateConfig& config)
+    : config_(config), rng_(config.seed, 0xa02bdbf7bb3c0a7ULL),
+      live_(fib.routes()), membership_(fib) {
+  if (live_.empty()) {
+    throw std::invalid_argument("UpdateGenerator: table must be non-empty");
+  }
+}
+
+UpdateMsg UpdateGenerator::next() {
+  if (rng_.chance(config_.announce_ratio)) {
+    return rng_.chance(config_.new_prefix_ratio) ? make_fresh_announce()
+                                                 : make_reannounce();
+  }
+  if (live_.size() <= 1) return make_fresh_announce();  // keep table alive
+  return make_withdraw();
+}
+
+std::vector<UpdateMsg> UpdateGenerator::generate(std::size_t count) {
+  std::vector<UpdateMsg> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next());
+  return out;
+}
+
+// BGP churn concentrates on specific (long) prefixes; covering
+// aggregates are stable. Sampling a few candidates and taking the
+// longest reproduces that skew.
+std::size_t UpdateGenerator::pick_victim() {
+  std::size_t best =
+      rng_.next_below(static_cast<std::uint32_t>(live_.size()));
+  for (int extra = 0; extra < 2; ++extra) {
+    const std::size_t candidate =
+        rng_.next_below(static_cast<std::uint32_t>(live_.size()));
+    if (live_[candidate].prefix.length() > live_[best].prefix.length()) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+UpdateMsg UpdateGenerator::make_withdraw() {
+  const std::size_t index = pick_victim();
+  const Route victim = live_[index];
+  live_[index] = live_.back();
+  live_.pop_back();
+  membership_.erase(victim.prefix);
+  return UpdateMsg{UpdateKind::kWithdraw, victim.prefix, victim.next_hop};
+}
+
+UpdateMsg UpdateGenerator::make_reannounce() {
+  const std::size_t index = pick_victim();
+  Route& route = live_[index];
+  // New next hop, different from the current one when possible.
+  auto hop = make_next_hop(1 + rng_.next_below(config_.next_hops));
+  if (hop == route.next_hop && config_.next_hops > 1) {
+    // Successor modulo the hop range is guaranteed different.
+    hop = make_next_hop(1 + (netbase::to_index(route.next_hop) %
+                             config_.next_hops));
+  }
+  route.next_hop = hop;
+  membership_.insert(route.prefix, hop);
+  return UpdateMsg{UpdateKind::kAnnounce, route.prefix, hop};
+}
+
+UpdateMsg UpdateGenerator::make_fresh_announce() {
+  // New prefixes appear near routed space: take a live route and emit a
+  // sibling-region /24 (or /22../26) nearby that isn't taken yet.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Route& anchor =
+        live_[rng_.next_below(static_cast<std::uint32_t>(live_.size()))];
+    const unsigned length = 22 + rng_.next_below(5);  // /22../26
+    const std::uint32_t jitter = rng_.next_below(64) << (32 - length);
+    const Prefix candidate(
+        netbase::Ipv4Address(anchor.prefix.bits() + jitter), length);
+    if (!membership_.find(candidate)) {
+      auto hop = make_next_hop(1 + rng_.next_below(config_.next_hops));
+      if (rng_.chance(config_.redundant_ratio)) {
+        const auto covering = membership_.lookup(candidate.range_low());
+        if (covering != netbase::kNoRoute) hop = covering;
+      }
+      membership_.insert(candidate, hop);
+      live_.push_back(Route{candidate, hop});
+      return UpdateMsg{UpdateKind::kAnnounce, candidate, hop};
+    }
+  }
+  // Dense neighbourhoods everywhere (pathological): fall back to a fresh
+  // random /24.
+  const Prefix fallback(netbase::Ipv4Address(rng_.next()), 24);
+  const auto hop = make_next_hop(1 + rng_.next_below(config_.next_hops));
+  membership_.insert(fallback, hop);
+  live_.push_back(Route{fallback, hop});
+  return UpdateMsg{UpdateKind::kAnnounce, fallback, hop};
+}
+
+}  // namespace clue::workload

@@ -1,0 +1,68 @@
+// Synthetic BGP update stream.
+//
+// Stand-in for the paper's RIPE update trace (2011-10-01 08:00 → +24 h).
+// Reproduces the mix that matters to TTF: mostly next-hop changes to
+// existing prefixes, a smaller flow of fresh announcements (mostly /24s
+// near already-routed space) and withdrawals, with prefix locality so
+// consecutive updates often touch the same region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "netbase/rng.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::workload {
+
+enum class UpdateKind : std::uint8_t { kAnnounce, kWithdraw };
+
+struct UpdateMsg {
+  UpdateKind kind;
+  netbase::Prefix prefix;
+  netbase::NextHop next_hop;  ///< meaningful for announces only
+
+  friend bool operator==(const UpdateMsg&, const UpdateMsg&) = default;
+};
+
+struct UpdateConfig {
+  std::uint64_t seed = 7;
+  std::uint32_t next_hops = 32;
+  /// Probability an update is an announce (split below) vs a withdraw.
+  double announce_ratio = 0.75;
+  /// Of the announces, fraction that are brand-new prefixes (the rest
+  /// re-announce an existing prefix with a different next hop).
+  double new_prefix_ratio = 0.45;
+  /// Probability a brand-new prefix carries the next hop its covering
+  /// route already uses (route flaps / more-specific re-advertisements —
+  /// the updates ONRTC absorbs without touching the data plane).
+  double redundant_ratio = 0.85;
+};
+
+/// Generates `count` update messages consistent with `fib`'s contents:
+/// withdraws always hit live routes, re-announces change live routes'
+/// next hops, fresh announces avoid colliding with live prefixes.
+/// Does not modify `fib`; tracks liveness internally so the stream can
+/// be replayed against any copy of the same table.
+class UpdateGenerator {
+ public:
+  UpdateGenerator(const trie::BinaryTrie& fib, const UpdateConfig& config);
+
+  UpdateMsg next();
+  std::vector<UpdateMsg> generate(std::size_t count);
+
+ private:
+  std::size_t pick_victim();
+  UpdateMsg make_withdraw();
+  UpdateMsg make_reannounce();
+  UpdateMsg make_fresh_announce();
+
+  UpdateConfig config_;
+  netbase::Pcg32 rng_;
+  // Live view of the table as the stream evolves it.
+  std::vector<netbase::Route> live_;
+  trie::BinaryTrie membership_;
+};
+
+}  // namespace clue::workload

@@ -1,0 +1,82 @@
+#include "engine/address_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+
+namespace clue::engine {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+
+TEST(AddressCache, RejectsZeroCapacity) {
+  EXPECT_THROW(AddressCache(0), std::invalid_argument);
+}
+
+TEST(AddressCache, MissOnEmptyThenHitAfterInsert) {
+  AddressCache cache(4);
+  const Ipv4Address address(0x0A000001);
+  EXPECT_FALSE(cache.lookup(address).has_value());
+  cache.insert(address, make_next_hop(3));
+  const auto hop = cache.lookup(address);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, make_next_hop(3));
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(AddressCache, ExactMatchOnly) {
+  AddressCache cache(4);
+  cache.insert(Ipv4Address(0x0A000001), make_next_hop(1));
+  EXPECT_FALSE(cache.lookup(Ipv4Address(0x0A000002)).has_value());
+}
+
+TEST(AddressCache, EvictsLeastRecentlyUsed) {
+  AddressCache cache(2);
+  cache.insert(Ipv4Address(1), make_next_hop(1));
+  cache.insert(Ipv4Address(2), make_next_hop(2));
+  cache.lookup(Ipv4Address(1));  // 2 becomes LRU
+  cache.insert(Ipv4Address(3), make_next_hop(3));
+  EXPECT_TRUE(cache.lookup(Ipv4Address(1)).has_value());
+  EXPECT_FALSE(cache.lookup(Ipv4Address(2)).has_value());
+  EXPECT_TRUE(cache.lookup(Ipv4Address(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(AddressCache, ReinsertUpdatesHopAndRecency) {
+  AddressCache cache(2);
+  cache.insert(Ipv4Address(1), make_next_hop(1));
+  cache.insert(Ipv4Address(2), make_next_hop(2));
+  cache.insert(Ipv4Address(1), make_next_hop(9));  // refresh
+  cache.insert(Ipv4Address(3), make_next_hop(3));  // evicts 2
+  EXPECT_EQ(*cache.lookup(Ipv4Address(1)), make_next_hop(9));
+  EXPECT_FALSE(cache.lookup(Ipv4Address(2)).has_value());
+}
+
+TEST(AddressCache, CapacityIsNeverExceeded) {
+  Pcg32 rng(821);
+  AddressCache cache(16);
+  for (int i = 0; i < 1'000; ++i) {
+    cache.insert(Ipv4Address(rng.next()), make_next_hop(1));
+    ASSERT_LE(cache.size(), 16u);
+  }
+}
+
+TEST(AddressCache, HitRateTracksWorkingSetFit) {
+  Pcg32 rng(823);
+  AddressCache small(16);
+  AddressCache large(1024);
+  for (int i = 0; i < 20'000; ++i) {
+    const Ipv4Address address(rng.next_below(512));  // working set 512
+    for (auto* cache : {&small, &large}) {
+      if (!cache->lookup(address)) cache->insert(address, make_next_hop(1));
+    }
+  }
+  EXPECT_LT(small.stats().hit_rate(), 0.2);
+  EXPECT_GT(large.stats().hit_rate(), 0.9);
+}
+
+}  // namespace
+}  // namespace clue::engine

@@ -1,0 +1,195 @@
+#include "onrtc/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "onrtc/onrtc.hpp"
+#include "workload/rib_gen.hpp"
+
+namespace clue::onrtc {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::kNoRoute;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+using trie::BinaryTrie;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+BinaryTrie random_fib(Pcg32& rng, std::size_t routes) {
+  BinaryTrie fib;
+  for (std::size_t i = 0; i < routes; ++i) {
+    fib.insert(Prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                      8 + rng.next_below(18)),
+               make_next_hop(1 + rng.next_below(4)));
+  }
+  return fib;
+}
+
+// LPM over a route list where a kNoRoute-valued entry means "drop".
+NextHop image_lookup(const std::vector<Route>& table, Ipv4Address address) {
+  const Route* best = nullptr;
+  for (const auto& route : table) {
+    if (route.prefix.contains(address) &&
+        (!best || route.prefix.length() > best->prefix.length())) {
+      best = &route;
+    }
+  }
+  return best ? best->next_hop : kNoRoute;
+}
+
+// ---------------------------------------------------------------------------
+// leaf_push
+
+TEST(LeafPush, EmptyAndSingle) {
+  EXPECT_TRUE(leaf_push(BinaryTrie()).empty());
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  const auto table = leaf_push(fib);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].prefix, p("10.0.0.0/8"));
+}
+
+TEST(LeafPush, ExpandsCoveredParents) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.1.0.0/16"), make_next_hop(2));
+  const auto table = leaf_push(fib);
+  // Parent remainder splits into one sibling per level: 8 pieces + child.
+  EXPECT_EQ(table.size(), 9u);
+  BinaryTrie image;
+  for (const auto& route : table) image.insert(route.prefix, route.next_hop);
+  EXPECT_TRUE(image.is_disjoint());
+}
+
+TEST(LeafPush, OutputIsDisjointAndEquivalent) {
+  Pcg32 rng(211);
+  for (int round = 0; round < 8; ++round) {
+    const auto fib = random_fib(rng, 80);
+    const auto table = leaf_push(fib);
+    BinaryTrie image;
+    for (const auto& route : table) {
+      image.insert(route.prefix, route.next_hop);
+    }
+    EXPECT_TRUE(image.is_disjoint());
+    for (int probe = 0; probe < 500; ++probe) {
+      const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+      ASSERT_EQ(image.lookup(address), fib.lookup(address));
+    }
+  }
+}
+
+TEST(LeafPush, NeverSmallerThanOnrtc) {
+  Pcg32 rng(223);
+  for (int round = 0; round < 10; ++round) {
+    const auto fib = random_fib(rng, 120);
+    EXPECT_GE(leaf_push(fib).size(), compress(fib).size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ORTC
+
+TEST(Ortc, EmptyAndSingle) {
+  EXPECT_TRUE(ortc_compress(BinaryTrie()).empty());
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  const auto table = ortc_compress(fib);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0], (Route{p("10.0.0.0/8"), make_next_hop(1)}));
+}
+
+TEST(Ortc, RedundantChildDisappears) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.1.0.0/16"), make_next_hop(1));
+  EXPECT_EQ(ortc_compress(fib).size(), 1u);
+}
+
+TEST(Ortc, ClassicSiblingPromotion) {
+  // Two sibling halves with different hops + no parent: ORTC promotes
+  // one hop to a covering route and keeps a single child route —
+  // 2 entries stay 2, but add a third level and it wins:
+  BinaryTrie fib;
+  fib.insert(p("0.0.0.0/2"), make_next_hop(1));
+  fib.insert(p("64.0.0.0/2"), make_next_hop(2));
+  fib.insert(p("128.0.0.0/2"), make_next_hop(1));
+  fib.insert(p("192.0.0.0/2"), make_next_hop(1));
+  // {1,2,1,1}: ORTC covers everything with 0/0->1 plus one /2->2.
+  const auto table = ortc_compress(fib);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0], (Route{Prefix(), make_next_hop(1)}));
+  EXPECT_EQ(table[1], (Route{p("64.0.0.0/2"), make_next_hop(2)}));
+}
+
+TEST(Ortc, UnroutedSpaceStaysUnrouted) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.1.0.0/16"), make_next_hop(2));
+  const auto table = ortc_compress(fib);
+  EXPECT_EQ(image_lookup(table, *Ipv4Address::parse("11.0.0.1")), kNoRoute);
+  EXPECT_EQ(image_lookup(table, *Ipv4Address::parse("10.1.2.3")),
+            make_next_hop(2));
+  EXPECT_EQ(image_lookup(table, *Ipv4Address::parse("10.2.0.1")),
+            make_next_hop(1));
+}
+
+TEST(Ortc, SemanticsPreservedOnRandomTables) {
+  Pcg32 rng(227);
+  for (int round = 0; round < 10; ++round) {
+    const auto fib = random_fib(rng, 100);
+    const auto table = ortc_compress(fib);
+    for (int probe = 0; probe < 800; ++probe) {
+      const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+      ASSERT_EQ(image_lookup(table, address), fib.lookup(address))
+          << address.to_string();
+    }
+    // Boundary probes.
+    fib.for_each_route([&](const Route& route) {
+      for (const auto address :
+           {route.prefix.range_low(), route.prefix.range_high()}) {
+        ASSERT_EQ(image_lookup(table, address), fib.lookup(address));
+      }
+    });
+  }
+}
+
+TEST(Ortc, NeverLargerThanOnrtcOrOriginal) {
+  Pcg32 rng(229);
+  for (int round = 0; round < 10; ++round) {
+    const auto fib = random_fib(rng, 150);
+    const auto ortc = ortc_compress(fib);
+    EXPECT_LE(ortc.size(), compress(fib).size());
+    EXPECT_LE(ortc.size(), fib.size());
+  }
+}
+
+TEST(Ortc, IdempotentOnOwnOutput) {
+  Pcg32 rng(233);
+  const auto fib = random_fib(rng, 200);
+  const auto once = ortc_compress(fib);
+  BinaryTrie image;
+  for (const auto& route : once) image.insert(route.prefix, route.next_hop);
+  EXPECT_EQ(ortc_compress(image).size(), once.size());
+}
+
+TEST(Ortc, OnGeneratedRibBeatsOnrtcWhichBeatsLeafPush) {
+  workload::RibConfig config;
+  config.table_size = 20'000;
+  config.seed = 9;
+  const auto fib = workload::generate_rib(config);
+  const auto ortc = ortc_compress(fib).size();
+  const auto onrtc = compress(fib).size();
+  const auto pushed = leaf_push(fib).size();
+  EXPECT_LT(ortc, onrtc);
+  EXPECT_LT(onrtc, fib.size());
+  EXPECT_GT(pushed, onrtc);
+}
+
+}  // namespace
+}  // namespace clue::onrtc

@@ -1,0 +1,230 @@
+#include "trie/binary_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netbase/rng.hpp"
+
+namespace clue::trie {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::kNoRoute;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+Ipv4Address a(const char* text) {
+  const auto parsed = Ipv4Address::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(BinaryTrie, EmptyTrieHasNoRoutes) {
+  BinaryTrie trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.node_count(), 0u);
+  EXPECT_EQ(trie.lookup(a("1.2.3.4")), kNoRoute);
+  EXPECT_TRUE(trie.is_disjoint());
+}
+
+TEST(BinaryTrie, InsertThenLookup) {
+  BinaryTrie trie;
+  EXPECT_TRUE(trie.insert(p("10.0.0.0/8"), make_next_hop(1)));
+  EXPECT_EQ(trie.lookup(a("10.20.30.40")), make_next_hop(1));
+  EXPECT_EQ(trie.lookup(a("11.0.0.0")), kNoRoute);
+}
+
+TEST(BinaryTrie, InsertReturnsFalseOnOverwrite) {
+  BinaryTrie trie;
+  EXPECT_TRUE(trie.insert(p("10.0.0.0/8"), make_next_hop(1)));
+  EXPECT_FALSE(trie.insert(p("10.0.0.0/8"), make_next_hop(2)));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(a("10.0.0.1")), make_next_hop(2));
+}
+
+TEST(BinaryTrie, LongestPrefixWins) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  trie.insert(p("10.1.2.0/24"), make_next_hop(3));
+  EXPECT_EQ(trie.lookup(a("10.1.2.3")), make_next_hop(3));
+  EXPECT_EQ(trie.lookup(a("10.1.9.9")), make_next_hop(2));
+  EXPECT_EQ(trie.lookup(a("10.9.9.9")), make_next_hop(1));
+}
+
+TEST(BinaryTrie, DefaultRouteMatchesEverything) {
+  BinaryTrie trie;
+  trie.insert(Prefix(), make_next_hop(42));
+  EXPECT_EQ(trie.lookup(a("0.0.0.0")), make_next_hop(42));
+  EXPECT_EQ(trie.lookup(a("255.255.255.255")), make_next_hop(42));
+}
+
+TEST(BinaryTrie, HostRouteMatchesSingleAddress) {
+  BinaryTrie trie;
+  trie.insert(p("1.2.3.4/32"), make_next_hop(5));
+  EXPECT_EQ(trie.lookup(a("1.2.3.4")), make_next_hop(5));
+  EXPECT_EQ(trie.lookup(a("1.2.3.5")), kNoRoute);
+}
+
+TEST(BinaryTrie, EraseRemovesAndPrunes) {
+  BinaryTrie trie;
+  trie.insert(p("10.1.2.0/24"), make_next_hop(1));
+  const std::size_t nodes_before = trie.node_count();
+  EXPECT_GT(nodes_before, 20u);
+  EXPECT_TRUE(trie.erase(p("10.1.2.0/24")));
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.node_count(), 0u);
+  EXPECT_FALSE(trie.erase(p("10.1.2.0/24")));
+}
+
+TEST(BinaryTrie, ErasePreservesOtherRoutes) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  EXPECT_TRUE(trie.erase(p("10.1.0.0/16")));
+  EXPECT_EQ(trie.lookup(a("10.1.0.1")), make_next_hop(1));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(BinaryTrie, EraseMissingIsNoop) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  EXPECT_FALSE(trie.erase(p("10.0.0.0/16")));
+  EXPECT_FALSE(trie.erase(p("11.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(BinaryTrie, FindIsExactNotLpm) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  EXPECT_EQ(trie.find(p("10.0.0.0/8")), make_next_hop(1));
+  EXPECT_EQ(trie.find(p("10.0.0.0/16")), std::nullopt);
+  EXPECT_EQ(trie.find(p("10.0.0.0/7")), std::nullopt);
+}
+
+TEST(BinaryTrie, RoutesAreInOrder) {
+  BinaryTrie trie;
+  trie.insert(p("192.0.2.0/24"), make_next_hop(1));
+  trie.insert(p("10.0.0.0/8"), make_next_hop(2));
+  trie.insert(p("10.0.0.0/16"), make_next_hop(3));
+  trie.insert(p("10.128.0.0/9"), make_next_hop(4));
+  const auto routes = trie.routes();
+  ASSERT_EQ(routes.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(routes.begin(), routes.end()));
+  EXPECT_EQ(routes[0].prefix, p("10.0.0.0/8"));
+  EXPECT_EQ(routes[1].prefix, p("10.0.0.0/16"));
+  EXPECT_EQ(routes[2].prefix, p("10.128.0.0/9"));
+  EXPECT_EQ(routes[3].prefix, p("192.0.2.0/24"));
+}
+
+TEST(BinaryTrie, IsDisjointDetectsNesting) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("11.0.0.0/8"), make_next_hop(2));
+  EXPECT_TRUE(trie.is_disjoint());
+  trie.insert(p("10.1.0.0/16"), make_next_hop(3));
+  EXPECT_FALSE(trie.is_disjoint());
+}
+
+TEST(BinaryTrie, CopyIsDeep) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  BinaryTrie copy(trie);
+  copy.insert(p("11.0.0.0/8"), make_next_hop(2));
+  copy.erase(p("10.0.0.0/8"));
+  EXPECT_EQ(trie.lookup(a("10.0.0.1")), make_next_hop(1));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(copy.size(), 1u);
+}
+
+TEST(BinaryTrie, NodeAtAndRoutesWithin) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  trie.insert(p("10.1.2.0/24"), make_next_hop(3));
+  EXPECT_NE(trie.node_at(p("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(trie.node_at(p("11.0.0.0/8")), nullptr);
+  const auto within = trie.routes_within(p("10.1.0.0/16"));
+  ASSERT_EQ(within.size(), 2u);
+  EXPECT_EQ(within[0].prefix, p("10.1.0.0/16"));
+  EXPECT_EQ(within[1].prefix, p("10.1.2.0/24"));
+}
+
+TEST(BinaryTrie, LongestMatchAboveExcludesSelf) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  EXPECT_EQ(trie.longest_match_above(p("10.1.0.0/16")), make_next_hop(1));
+  EXPECT_EQ(trie.longest_match_above(p("10.1.2.0/24")), make_next_hop(2));
+  EXPECT_EQ(trie.longest_match_above(p("10.0.0.0/8")), kNoRoute);
+}
+
+TEST(BinaryTrie, ForEachMatchVisitsAllAncestors) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  trie.insert(p("10.1.2.0/24"), make_next_hop(3));
+  trie.insert(p("99.0.0.0/8"), make_next_hop(4));
+  std::vector<Route> matches;
+  trie.for_each_match(a("10.1.2.3"),
+                      [&](const Route& route) { matches.push_back(route); });
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].prefix.length(), 8u);
+  EXPECT_EQ(matches[2].prefix.length(), 24u);
+}
+
+TEST(BinaryTrie, RandomizedDifferentialAgainstLinearFib) {
+  Pcg32 rng(2024);
+  BinaryTrie trie;
+  LinearFib oracle;
+  for (int step = 0; step < 4000; ++step) {
+    const Prefix prefix(Ipv4Address(rng.next()), 4 + rng.next_below(29));
+    if (rng.chance(0.7)) {
+      const auto hop = make_next_hop(1 + rng.next_below(16));
+      trie.insert(prefix, hop);
+      oracle.insert(prefix, hop);
+    } else {
+      EXPECT_EQ(trie.erase(prefix), oracle.erase(prefix));
+    }
+    if (step % 50 == 0) {
+      for (int probe = 0; probe < 20; ++probe) {
+        const Ipv4Address address(rng.next());
+        ASSERT_EQ(trie.lookup(address), oracle.lookup(address))
+            << "step " << step << " addr " << address.to_string();
+      }
+    }
+  }
+  EXPECT_EQ(trie.size(), oracle.size());
+}
+
+TEST(BinaryTrie, LookupRouteReturnsMatchedPrefix) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  const auto route = trie.lookup_route(a("10.1.200.1"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->prefix, p("10.1.0.0/16"));
+  EXPECT_EQ(route->next_hop, make_next_hop(2));
+  EXPECT_FALSE(trie.lookup_route(a("12.0.0.1")).has_value());
+}
+
+TEST(BinaryTrie, ClearEmptiesEverything) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("11.0.0.0/8"), make_next_hop(2));
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.node_count(), 0u);
+  EXPECT_EQ(trie.lookup(a("10.0.0.1")), kNoRoute);
+}
+
+}  // namespace
+}  // namespace clue::trie

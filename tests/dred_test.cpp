@@ -1,0 +1,140 @@
+#include "engine/dred.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+
+namespace clue::engine {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+Ipv4Address a(const char* text) {
+  const auto parsed = Ipv4Address::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(DredStore, RejectsZeroCapacity) {
+  EXPECT_THROW(DredStore(0), std::invalid_argument);
+}
+
+TEST(DredStore, MissOnEmpty) {
+  DredStore dred(4);
+  EXPECT_FALSE(dred.lookup(a("1.2.3.4")).has_value());
+  EXPECT_EQ(dred.stats().lookups, 1u);
+  EXPECT_EQ(dred.stats().hits, 0u);
+}
+
+TEST(DredStore, InsertThenHit) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  const auto hop = dred.lookup(a("10.1.2.3"));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, make_next_hop(1));
+  EXPECT_DOUBLE_EQ(dred.stats().hit_rate(), 1.0);
+}
+
+TEST(DredStore, LookupIsLongestMatch) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("10.1.0.0/16"), make_next_hop(2)});
+  EXPECT_EQ(dred.lookup(a("10.1.2.3")), make_next_hop(2));
+  EXPECT_EQ(dred.lookup(a("10.2.0.1")), make_next_hop(1));
+}
+
+TEST(DredStore, EvictsLeastRecentlyUsed) {
+  DredStore dred(2);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("11.0.0.0/8"), make_next_hop(2)});
+  // Touch 10/8 so 11/8 becomes the LRU victim.
+  dred.lookup(a("10.0.0.1"));
+  dred.insert(Route{p("12.0.0.0/8"), make_next_hop(3)});
+  EXPECT_TRUE(dred.contains(p("10.0.0.0/8")));
+  EXPECT_FALSE(dred.contains(p("11.0.0.0/8")));
+  EXPECT_TRUE(dred.contains(p("12.0.0.0/8")));
+  EXPECT_EQ(dred.stats().evictions, 1u);
+}
+
+TEST(DredStore, ReinsertRefreshesRecencyAndHop) {
+  DredStore dred(2);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("11.0.0.0/8"), make_next_hop(2)});
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(9)});  // refresh
+  dred.insert(Route{p("12.0.0.0/8"), make_next_hop(3)});  // evicts 11/8
+  EXPECT_TRUE(dred.contains(p("10.0.0.0/8")));
+  EXPECT_FALSE(dred.contains(p("11.0.0.0/8")));
+  EXPECT_EQ(dred.lookup(a("10.0.0.1")), make_next_hop(9));
+}
+
+TEST(DredStore, EraseRemoves) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_TRUE(dred.erase(p("10.0.0.0/8")));
+  EXPECT_FALSE(dred.erase(p("10.0.0.0/8")));
+  EXPECT_FALSE(dred.lookup(a("10.0.0.1")).has_value());
+  EXPECT_EQ(dred.size(), 0u);
+}
+
+TEST(DredStore, SizeNeverExceedsCapacity) {
+  Pcg32 rng(37);
+  DredStore dred(16);
+  for (int i = 0; i < 500; ++i) {
+    dred.insert(Route{Prefix(Ipv4Address(rng.next()), 24),
+                      make_next_hop(1 + rng.next_below(4))});
+    ASSERT_LE(dred.size(), 16u);
+  }
+  EXPECT_EQ(dred.size(), 16u);
+}
+
+TEST(DredStore, ContentsAreMruFirst) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("11.0.0.0/8"), make_next_hop(2)});
+  dred.lookup(a("10.0.0.1"));  // 10/8 becomes MRU
+  const auto contents = dred.contents();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0], p("10.0.0.0/8"));
+  EXPECT_EQ(contents[1], p("11.0.0.0/8"));
+}
+
+TEST(DredStore, OverlappingFindsAncestorsAndDescendants) {
+  DredStore dred(8);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("10.1.0.0/16"), make_next_hop(2)});
+  dred.insert(Route{p("10.1.2.0/24"), make_next_hop(3)});
+  dred.insert(Route{p("11.0.0.0/8"), make_next_hop(4)});
+  const auto overlapping = dred.overlapping(p("10.1.0.0/16"));
+  ASSERT_EQ(overlapping.size(), 3u);
+  // Ancestors (shortest-first), then descendants.
+  EXPECT_EQ(overlapping[0], p("10.0.0.0/8"));
+  EXPECT_EQ(overlapping[1], p("10.1.0.0/16"));
+  EXPECT_EQ(overlapping[2], p("10.1.2.0/24"));
+}
+
+TEST(DredStore, EvictionKeepsMatchIndexConsistent) {
+  Pcg32 rng(41);
+  DredStore dred(8);
+  for (int i = 0; i < 2000; ++i) {
+    const Prefix prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFF00)),
+                        24);
+    dred.insert(Route{prefix, make_next_hop(1)});
+    // Every cached prefix must be findable; every evicted one must not.
+    for (const auto& cached : dred.contents()) {
+      ASSERT_TRUE(dred.contains(cached));
+      const auto hop = dred.lookup(cached.range_low());
+      ASSERT_TRUE(hop.has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clue::engine

@@ -1,0 +1,86 @@
+// Full-stack scenario: everything wired together the way a deployment
+// would be — generate a FIB, build the ClueSystem, serve traffic via an
+// engine snapshot, churn through BGP updates, re-serve traffic from the
+// mutated table, and verify the data plane against the control plane at
+// every stage. If any module's contract drifts, this is the test that
+// notices the seam.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netbase/rng.hpp"
+#include "stats/stats.hpp"
+#include "system/clue_system.hpp"
+#include "workload/rib_gen.hpp"
+#include "workload/rib_io.hpp"
+#include "workload/traffic_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue {
+namespace {
+
+TEST(Integration, FullLifecycle) {
+  // 1. Control plane boots from a serialized RIB (I/O round trip).
+  workload::RibConfig rib_config;
+  rib_config.table_size = 8'000;
+  rib_config.seed = 5001;
+  const auto generated = workload::generate_rib(rib_config);
+  std::stringstream wire;
+  workload::write_rib(wire, generated.routes());
+  const auto fib = workload::read_rib_trie(wire);
+  ASSERT_EQ(fib.routes(), generated.routes());
+
+  // 2. System boots; chips hold exactly the compressed table.
+  system::ClueSystem router(fib, system::SystemConfig{});
+  EXPECT_EQ(router.total_tcam_entries(), router.fib().size());
+  EXPECT_LT(router.fib().size(), fib.size());  // compression happened
+
+  // 3. Serve a traffic burst through an engine snapshot.
+  auto serve = [&router](std::uint64_t seed) {
+    const auto setup = router.engine_setup();
+    engine::EngineConfig config;
+    engine::ParallelEngine engine(engine::EngineMode::kClue, config, setup);
+    std::vector<netbase::Prefix> prefixes;
+    for (const auto& route : router.fib().compressed().routes()) {
+      prefixes.push_back(route.prefix);
+    }
+    workload::TrafficConfig traffic_config;
+    traffic_config.seed = seed;
+    workload::TrafficGenerator traffic(prefixes, traffic_config);
+    return engine.run([&traffic] { return traffic.next(); }, 40'000);
+  };
+  const auto before = serve(5002);
+  EXPECT_GT(before.speedup(4), 3.0);
+  EXPECT_EQ(before.packets_completed + before.packets_dropped,
+            before.packets_offered);
+
+  // 4. A BGP churn phase; every update's diff applies cleanly.
+  workload::UpdateConfig update_config;
+  update_config.seed = 5003;
+  workload::UpdateGenerator updates(fib, update_config);
+  stats::Summary data_plane_ns;
+  for (int i = 0; i < 4'000; ++i) {
+    data_plane_ns.add(router.apply(updates.next()).data_plane_ns());
+  }
+  // CLUE's promise: tens of nanoseconds of TCAM time per update.
+  EXPECT_LT(data_plane_ns.mean(), 150.0);
+
+  // 5. The mutated table still serves at full speed.
+  const auto after = serve(5004);
+  EXPECT_GT(after.speedup(4), 3.0);
+
+  // 6. Data plane == control plane, everywhere we can afford to look.
+  netbase::Pcg32 rng(5005);
+  for (int probe = 0; probe < 10'000; ++probe) {
+    const netbase::Ipv4Address address(rng.next());
+    ASSERT_EQ(router.lookup(address),
+              router.fib().ground_truth().lookup(address))
+        << address.to_string();
+  }
+  // …including the compressed invariant one last time.
+  EXPECT_EQ(router.fib().compressed().routes(),
+            onrtc::compress(router.fib().ground_truth()));
+}
+
+}  // namespace
+}  // namespace clue

@@ -1,0 +1,51 @@
+#include "netbase/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clue::netbase {
+namespace {
+
+TEST(Ipv4Address, DefaultIsZero) {
+  EXPECT_EQ(Ipv4Address().value(), 0u);
+}
+
+TEST(Ipv4Address, FromOctetsComposesHostOrder) {
+  EXPECT_EQ(Ipv4Address::from_octets(192, 0, 2, 1).value(), 0xC0000201u);
+  EXPECT_EQ(Ipv4Address::from_octets(255, 255, 255, 255).value(),
+            0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Address::from_octets(0, 0, 0, 1).value(), 1u);
+}
+
+TEST(Ipv4Address, ParseRoundTrips) {
+  for (const char* text :
+       {"0.0.0.0", "192.0.2.1", "255.255.255.255", "10.0.0.1", "1.2.3.4"}) {
+    const auto address = Ipv4Address::parse(text);
+    ASSERT_TRUE(address.has_value()) << text;
+    EXPECT_EQ(address->to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.999", "a.b.c.d",
+        "1..2.3", "1.2.3.4 ", " 1.2.3.4", "1.2.3.4x", "-1.2.3.4"}) {
+    EXPECT_FALSE(Ipv4Address::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4Address, BitIndexesFromMostSignificant) {
+  const auto address = Ipv4Address(0x80000001u);
+  EXPECT_EQ(address.bit(0), 1u);
+  EXPECT_EQ(address.bit(1), 0u);
+  EXPECT_EQ(address.bit(31), 1u);
+}
+
+TEST(Ipv4Address, OrderingFollowsValue) {
+  EXPECT_LT(Ipv4Address(1), Ipv4Address(2));
+  EXPECT_EQ(Ipv4Address(7), Ipv4Address(7));
+  EXPECT_GT(Ipv4Address::from_octets(128, 0, 0, 0),
+            Ipv4Address::from_octets(127, 255, 255, 255));
+}
+
+}  // namespace
+}  // namespace clue::netbase

@@ -1,0 +1,157 @@
+#include "trie/multibit_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "workload/rib_gen.hpp"
+
+namespace clue::trie {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::kNoRoute;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+Ipv4Address a(const char* text) {
+  const auto parsed = Ipv4Address::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(MultibitTrie, EmptyMissesEverything) {
+  MultibitTrie trie;
+  EXPECT_EQ(trie.lookup(a("1.2.3.4")), kNoRoute);
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(MultibitTrie, StrideAlignedInsertAndLookup) {
+  MultibitTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.0.0/16"), make_next_hop(2));
+  trie.insert(p("10.1.2.0/24"), make_next_hop(3));
+  trie.insert(p("10.1.2.3/32"), make_next_hop(4));
+  EXPECT_EQ(trie.lookup(a("10.9.9.9")), make_next_hop(1));
+  EXPECT_EQ(trie.lookup(a("10.1.9.9")), make_next_hop(2));
+  EXPECT_EQ(trie.lookup(a("10.1.2.9")), make_next_hop(3));
+  EXPECT_EQ(trie.lookup(a("10.1.2.3")), make_next_hop(4));
+  EXPECT_EQ(trie.lookup(a("11.0.0.0")), kNoRoute);
+}
+
+TEST(MultibitTrie, UnalignedPrefixesExpandWithinNode) {
+  MultibitTrie trie;
+  trie.insert(p("128.0.0.0/1"), make_next_hop(1));
+  trie.insert(p("192.0.0.0/3"), make_next_hop(2));
+  EXPECT_EQ(trie.lookup(a("129.0.0.1")), make_next_hop(1));
+  EXPECT_EQ(trie.lookup(a("200.0.0.1")), make_next_hop(2));
+  EXPECT_EQ(trie.lookup(a("1.0.0.1")), kNoRoute);
+}
+
+TEST(MultibitTrie, LongerExpansionWinsWithinSlotRange) {
+  MultibitTrie trie;
+  trie.insert(p("10.0.0.0/9"), make_next_hop(1));   // slots 0..127 of byte 2
+  trie.insert(p("10.0.0.0/10"), make_next_hop(2));  // slots 0..63
+  EXPECT_EQ(trie.lookup(a("10.10.0.0")), make_next_hop(2));   // byte1=10<64
+  EXPECT_EQ(trie.lookup(a("10.100.0.0")), make_next_hop(1));  // 64<=100<128
+  EXPECT_EQ(trie.lookup(a("10.200.0.0")), kNoRoute);          // >=128
+}
+
+TEST(MultibitTrie, InsertionOrderIrrelevant) {
+  MultibitTrie forward, backward;
+  forward.insert(p("10.0.0.0/10"), make_next_hop(2));
+  forward.insert(p("10.0.0.0/9"), make_next_hop(1));
+  backward.insert(p("10.0.0.0/9"), make_next_hop(1));
+  backward.insert(p("10.0.0.0/10"), make_next_hop(2));
+  for (const char* probe : {"10.10.0.0", "10.100.0.0", "10.200.0.0"}) {
+    EXPECT_EQ(forward.lookup(a(probe)), backward.lookup(a(probe))) << probe;
+  }
+}
+
+TEST(MultibitTrie, DefaultRoute) {
+  MultibitTrie trie;
+  trie.insert(Prefix(), make_next_hop(9));
+  EXPECT_EQ(trie.lookup(a("0.0.0.0")), make_next_hop(9));
+  EXPECT_EQ(trie.lookup(a("255.255.255.255")), make_next_hop(9));
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  EXPECT_EQ(trie.lookup(a("10.1.1.1")), make_next_hop(1));
+  EXPECT_TRUE(trie.erase(Prefix()));
+  EXPECT_EQ(trie.lookup(a("99.0.0.1")), kNoRoute);
+  EXPECT_EQ(trie.lookup(a("10.1.1.1")), make_next_hop(1));
+}
+
+TEST(MultibitTrie, EraseUncoversShorterPrefix) {
+  MultibitTrie trie;
+  trie.insert(p("10.0.0.0/9"), make_next_hop(1));
+  trie.insert(p("10.0.0.0/10"), make_next_hop(2));
+  EXPECT_TRUE(trie.erase(p("10.0.0.0/10")));
+  EXPECT_EQ(trie.lookup(a("10.10.0.0")), make_next_hop(1));
+  EXPECT_FALSE(trie.erase(p("10.0.0.0/10")));
+}
+
+TEST(MultibitTrie, EraseKeepsDeeperChildrenReachable) {
+  MultibitTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  trie.insert(p("10.1.2.0/24"), make_next_hop(2));
+  EXPECT_TRUE(trie.erase(p("10.0.0.0/8")));
+  EXPECT_EQ(trie.lookup(a("10.1.2.9")), make_next_hop(2));
+  EXPECT_EQ(trie.lookup(a("10.9.9.9")), kNoRoute);
+}
+
+TEST(MultibitTrie, OverwriteChangesHop) {
+  MultibitTrie trie;
+  trie.insert(p("10.0.0.0/8"), make_next_hop(1));
+  EXPECT_FALSE(trie.insert(p("10.0.0.0/8"), make_next_hop(7)));
+  EXPECT_EQ(trie.lookup(a("10.1.1.1")), make_next_hop(7));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(MultibitTrie, RandomizedDifferentialAgainstBinaryTrie) {
+  Pcg32 rng(811);
+  MultibitTrie multibit;
+  BinaryTrie reference;
+  for (int step = 0; step < 6'000; ++step) {
+    const Prefix prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                        rng.next_below(33));
+    if (rng.chance(0.65)) {
+      const auto hop = make_next_hop(1 + rng.next_below(8));
+      EXPECT_EQ(multibit.insert(prefix, hop), reference.insert(prefix, hop));
+    } else {
+      EXPECT_EQ(multibit.erase(prefix), reference.erase(prefix));
+    }
+    if (step % 100 == 0) {
+      for (int probe = 0; probe < 25; ++probe) {
+        const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+        ASSERT_EQ(multibit.lookup(address), reference.lookup(address))
+            << "step " << step << " " << address.to_string();
+      }
+    }
+  }
+  EXPECT_EQ(multibit.size(), reference.size());
+}
+
+TEST(MultibitTrie, HandlesBgpShapedTable) {
+  workload::RibConfig config;
+  config.table_size = 10'000;
+  config.seed = 813;
+  const auto fib = workload::generate_rib(config);
+  MultibitTrie multibit;
+  fib.for_each_route([&multibit](const netbase::Route& route) {
+    multibit.insert(route.prefix, route.next_hop);
+  });
+  EXPECT_EQ(multibit.size(), fib.size());
+  Pcg32 rng(814);
+  for (int probe = 0; probe < 20'000; ++probe) {
+    const Ipv4Address address(rng.next());
+    ASSERT_EQ(multibit.lookup(address), fib.lookup(address))
+        << address.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace clue::trie

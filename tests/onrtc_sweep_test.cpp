@@ -1,0 +1,123 @@
+// Parameterised sweep: the ONRTC invariants must hold across the whole
+// workload-generator design space, not just the calibrated defaults —
+// and the compression ratio must respond to the knobs in the expected
+// direction (more spatial locality => smaller tables).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "netbase/rng.hpp"
+#include "onrtc/baselines.hpp"
+#include "onrtc/compressed_fib.hpp"
+#include "onrtc/onrtc.hpp"
+#include "workload/rib_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue::onrtc {
+namespace {
+
+// (locality, aggregate_share, next_hops, table_size)
+using Sweep = std::tuple<double, double, std::uint32_t, std::size_t>;
+
+class OnrtcSweep : public ::testing::TestWithParam<Sweep> {
+ protected:
+  trie::BinaryTrie fib() const {
+    const auto [locality, aggregates, hops, size] = GetParam();
+    workload::RibConfig config;
+    config.locality = locality;
+    config.aggregate_share = aggregates;
+    config.next_hops = hops;
+    config.table_size = size;
+    config.seed = 424242;
+    return workload::generate_rib(config);
+  }
+};
+
+TEST_P(OnrtcSweep, InvariantsHoldEverywhere) {
+  const auto ground_truth = fib();
+  const auto table = compress(ground_truth);
+
+  // Disjoint and sorted.
+  trie::BinaryTrie image;
+  for (const auto& route : table) image.insert(route.prefix, route.next_hop);
+  EXPECT_TRUE(image.is_disjoint());
+  EXPECT_TRUE(std::is_sorted(table.begin(), table.end()));
+
+  // Semantics preserved (sampled).
+  netbase::Pcg32 rng(11);
+  for (int probe = 0; probe < 2'000; ++probe) {
+    const netbase::Ipv4Address address(rng.next());
+    ASSERT_EQ(image.lookup(address), ground_truth.lookup(address));
+  }
+
+  // Size ordering vs baselines.
+  EXPECT_LE(ortc_compress(ground_truth).size(), table.size());
+  EXPECT_GE(leaf_push(ground_truth).size(), table.size());
+
+  // Incremental updates stay consistent on this workload too.
+  CompressedFib incremental(ground_truth);
+  workload::UpdateConfig update_config;
+  update_config.seed = 13;
+  workload::UpdateGenerator updates(ground_truth, update_config);
+  for (int i = 0; i < 200; ++i) {
+    const auto msg = updates.next();
+    if (msg.kind == workload::UpdateKind::kAnnounce) {
+      incremental.announce(msg.prefix, msg.next_hop);
+    } else {
+      incremental.withdraw(msg.prefix);
+    }
+  }
+  EXPECT_EQ(incremental.compressed().routes(),
+            compress(incremental.ground_truth()));
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Sweep>& info) {
+  const auto [locality, aggregates, hops, size] = info.param;
+  return "loc" + std::to_string(static_cast<int>(locality * 100)) + "_agg" +
+         std::to_string(static_cast<int>(aggregates * 100)) + "_nh" +
+         std::to_string(hops) + "_n" + std::to_string(size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadSpace, OnrtcSweep,
+    ::testing::Values(Sweep{0.5, 0.08, 32, 4'000},
+                      Sweep{0.875, 0.08, 32, 4'000},
+                      Sweep{0.99, 0.08, 32, 4'000},
+                      Sweep{0.875, 0.0, 32, 4'000},
+                      Sweep{0.875, 0.3, 32, 4'000},
+                      Sweep{0.875, 0.08, 2, 4'000},
+                      Sweep{0.875, 0.08, 255, 4'000},
+                      Sweep{0.875, 0.08, 32, 500},
+                      Sweep{0.875, 0.08, 32, 20'000}),
+    sweep_name);
+
+TEST(OnrtcSweepDirection, MoreLocalityCompressesBetter) {
+  const auto ratio_at = [](double locality) {
+    workload::RibConfig config;
+    config.locality = locality;
+    config.table_size = 20'000;
+    config.seed = 434343;
+    const auto fib = workload::generate_rib(config);
+    return compress_with_stats(fib).stats.ratio();
+  };
+  const double low = ratio_at(0.5);
+  const double mid = ratio_at(0.8);
+  const double high = ratio_at(0.98);
+  EXPECT_GT(low, mid);
+  EXPECT_GT(mid, high);
+}
+
+TEST(OnrtcSweepDirection, MoreNextHopsCompressWorse) {
+  const auto ratio_at = [](std::uint32_t hops) {
+    workload::RibConfig config;
+    config.next_hops = hops;
+    config.table_size = 20'000;
+    config.seed = 444444;
+    const auto fib = workload::generate_rib(config);
+    return compress_with_stats(fib).stats.ratio();
+  };
+  EXPECT_LT(ratio_at(2), ratio_at(64));
+}
+
+}  // namespace
+}  // namespace clue::onrtc

@@ -1,0 +1,122 @@
+#include "netbase/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "netbase/rng.hpp"
+
+namespace clue::netbase {
+namespace {
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(Prefix, MasksHostBitsOnConstruction) {
+  const Prefix prefix(Ipv4Address::from_octets(192, 0, 2, 255), 24);
+  EXPECT_EQ(prefix.to_string(), "192.0.2.0/24");
+}
+
+TEST(Prefix, ParseHandlesBareAddressAsHostRoute) {
+  EXPECT_EQ(p("10.1.2.3").length(), 32u);
+  EXPECT_EQ(p("10.1.2.3").to_string(), "10.1.2.3/32");
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/2x").has_value());
+}
+
+TEST(Prefix, DefaultPrefixCoversEverything) {
+  const Prefix all;
+  EXPECT_EQ(all.length(), 0u);
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(all.contains(Ipv4Address(0)));
+  EXPECT_TRUE(all.contains(Ipv4Address(~std::uint32_t{0})));
+}
+
+TEST(Prefix, ContainsAddress) {
+  const auto prefix = p("10.0.0.0/8");
+  EXPECT_TRUE(prefix.contains(Ipv4Address::from_octets(10, 255, 0, 1)));
+  EXPECT_FALSE(prefix.contains(Ipv4Address::from_octets(11, 0, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefixIsPartialOrder) {
+  EXPECT_TRUE(p("10.0.0.0/8").contains(p("10.1.0.0/16")));
+  EXPECT_TRUE(p("10.0.0.0/8").contains(p("10.0.0.0/8")));
+  EXPECT_FALSE(p("10.1.0.0/16").contains(p("10.0.0.0/8")));
+  EXPECT_FALSE(p("10.0.0.0/8").contains(p("11.0.0.0/16")));
+}
+
+TEST(Prefix, OverlapsIsSymmetric) {
+  EXPECT_TRUE(p("10.0.0.0/8").overlaps(p("10.1.0.0/16")));
+  EXPECT_TRUE(p("10.1.0.0/16").overlaps(p("10.0.0.0/8")));
+  EXPECT_FALSE(p("10.0.0.0/16").overlaps(p("10.1.0.0/16")));
+}
+
+TEST(Prefix, RangeEndpoints) {
+  const auto prefix = p("192.0.2.0/24");
+  EXPECT_EQ(prefix.range_low().to_string(), "192.0.2.0");
+  EXPECT_EQ(prefix.range_high().to_string(), "192.0.2.255");
+  EXPECT_EQ(prefix.size(), 256u);
+}
+
+TEST(Prefix, ChildParentSiblingRelations) {
+  const auto prefix = p("10.0.0.0/8");
+  EXPECT_EQ(prefix.child(0).to_string(), "10.0.0.0/9");
+  EXPECT_EQ(prefix.child(1).to_string(), "10.128.0.0/9");
+  EXPECT_EQ(prefix.child(1).parent(), prefix);
+  EXPECT_EQ(prefix.child(0).sibling(), prefix.child(1));
+  EXPECT_EQ(prefix.child(1).sibling(), prefix.child(0));
+}
+
+TEST(Prefix, ChildrenPartitionParent) {
+  netbase::Pcg32 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const Prefix parent(Ipv4Address(rng.next()), rng.next_below(32));
+    const auto left = parent.child(0);
+    const auto right = parent.child(1);
+    EXPECT_TRUE(parent.contains(left));
+    EXPECT_TRUE(parent.contains(right));
+    EXPECT_FALSE(left.overlaps(right));
+    EXPECT_EQ(left.size() + right.size(), parent.size());
+    EXPECT_EQ(left.range_low(), parent.range_low());
+    EXPECT_EQ(right.range_high(), parent.range_high());
+  }
+}
+
+TEST(Prefix, OrderingIsInOrderTraversalOrder) {
+  // Address first, then shorter-before-longer at the same address.
+  EXPECT_LT(p("10.0.0.0/8"), p("10.0.0.0/16"));
+  EXPECT_LT(p("10.0.0.0/16"), p("10.1.0.0/16"));
+  EXPECT_LT(p("9.0.0.0/8"), p("10.0.0.0/32"));
+}
+
+TEST(Prefix, HashSpreadsAndMatchesEquality) {
+  std::unordered_set<Prefix> set;
+  Pcg32 rng(7);
+  std::set<std::pair<std::uint32_t, unsigned>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    const Prefix prefix(Ipv4Address(rng.next()), 8 + rng.next_below(25));
+    set.insert(prefix);
+    reference.emplace(prefix.bits(), prefix.length());
+  }
+  EXPECT_EQ(set.size(), reference.size());
+}
+
+TEST(Prefix, BitAccessor) {
+  const auto prefix = p("128.0.0.0/1");
+  EXPECT_EQ(prefix.bit(0), 1u);
+  const auto deep = p("0.0.0.1/32");
+  EXPECT_EQ(deep.bit(31), 1u);
+  EXPECT_EQ(deep.bit(30), 0u);
+}
+
+}  // namespace
+}  // namespace clue::netbase

@@ -1,0 +1,97 @@
+#include "engine/reorder_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+
+namespace clue::engine {
+namespace {
+
+using netbase::make_next_hop;
+
+TEST(ReorderBuffer, InOrderStreamPassesThrough) {
+  ReorderBuffer buffer;
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    buffer.accept(seq, make_next_hop(1), seq * 10);
+    const auto released = buffer.drain(seq * 10);
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0].sequence, seq);
+    EXPECT_EQ(released[0].released_clock - released[0].completed_clock, 0u);
+  }
+  EXPECT_EQ(buffer.stats().max_occupancy, 1u);
+  EXPECT_DOUBLE_EQ(buffer.stats().mean_hold_clocks(), 0.0);
+}
+
+TEST(ReorderBuffer, HoldsUntilGapFills) {
+  ReorderBuffer buffer;
+  buffer.accept(1, make_next_hop(1), 10);
+  buffer.accept(2, make_next_hop(2), 11);
+  EXPECT_TRUE(buffer.drain(12).empty());  // 0 missing
+  EXPECT_EQ(buffer.occupancy(), 2u);
+  buffer.accept(0, make_next_hop(3), 20);
+  const auto released = buffer.drain(20);
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0].sequence, 0u);
+  EXPECT_EQ(released[1].sequence, 1u);
+  EXPECT_EQ(released[2].sequence, 2u);
+  // Sequence 1 waited from clock 10 to clock 20.
+  EXPECT_EQ(released[1].released_clock - released[1].completed_clock, 10u);
+}
+
+TEST(ReorderBuffer, RejectsDuplicatesAndStale) {
+  ReorderBuffer buffer;
+  buffer.accept(0, make_next_hop(1), 1);
+  buffer.drain(1);
+  EXPECT_THROW(buffer.accept(0, make_next_hop(1), 2), std::logic_error);
+  buffer.accept(3, make_next_hop(1), 2);
+  EXPECT_THROW(buffer.accept(3, make_next_hop(2), 3), std::logic_error);
+}
+
+TEST(ReorderBuffer, FirstSequenceOffset) {
+  ReorderBuffer buffer(100);
+  buffer.accept(100, make_next_hop(1), 0);
+  EXPECT_EQ(buffer.drain(0).size(), 1u);
+  EXPECT_EQ(buffer.next_release_sequence(), 101u);
+}
+
+TEST(ReorderBuffer, RandomPermutationReleasesInOrder) {
+  netbase::Pcg32 rng(303);
+  constexpr std::uint64_t kCount = 2'000;
+  std::vector<std::uint64_t> order(kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) order[i] = i;
+  // Shuffle within independent blocks of 32: displacement (and thus the
+  // buffer occupancy) is bounded by the block size.
+  for (std::size_t block = 0; block < order.size(); block += 32) {
+    const std::size_t end = std::min(order.size(), block + 32);
+    for (std::size_t i = end - block; i > 1; --i) {
+      const std::size_t j = rng.next_below(static_cast<std::uint32_t>(i));
+      std::swap(order[block + i - 1], order[block + j]);
+    }
+  }
+  ReorderBuffer buffer;
+  std::uint64_t expected = 0;
+  for (std::size_t clock = 0; clock < order.size(); ++clock) {
+    buffer.accept(order[clock], make_next_hop(1), clock);
+    for (const auto& released : buffer.drain(clock)) {
+      ASSERT_EQ(released.sequence, expected++);
+    }
+  }
+  EXPECT_EQ(expected, kCount);
+  EXPECT_EQ(buffer.occupancy(), 0u);
+  // Bounded skew implies bounded buffer.
+  EXPECT_LE(buffer.stats().max_occupancy, 33u);
+}
+
+TEST(ReorderBuffer, StatsAccumulate) {
+  ReorderBuffer buffer;
+  buffer.accept(1, make_next_hop(1), 0);
+  buffer.accept(0, make_next_hop(1), 4);
+  buffer.drain(4);
+  EXPECT_EQ(buffer.stats().accepted, 2u);
+  EXPECT_EQ(buffer.stats().released, 2u);
+  EXPECT_EQ(buffer.stats().max_occupancy, 2u);
+  EXPECT_DOUBLE_EQ(buffer.stats().mean_hold_clocks(), 2.0);  // (4-0 + 0)/2
+}
+
+}  // namespace
+}  // namespace clue::engine

@@ -1,0 +1,108 @@
+#include "workload/rib_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/rib_gen.hpp"
+
+namespace clue::workload {
+namespace {
+
+TEST(RibIo, ParsesWellFormedLines) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "10.0.0.0/8 1\n"
+      "  192.0.2.0/24\t7 \n"
+      "0.0.0.0/0 3\n");
+  const auto result = read_rib(in);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.routes.size(), 3u);
+  EXPECT_EQ(result.routes[0].prefix.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(netbase::to_index(result.routes[1].next_hop), 7u);
+  EXPECT_EQ(result.routes[2].prefix.length(), 0u);
+}
+
+TEST(RibIo, CollectsErrorsWithLineNumbers) {
+  std::istringstream in(
+      "10.0.0.0/8 1\n"
+      "not-a-prefix 2\n"
+      "10.0.0.0/8\n"
+      "10.0.0.0/8 zero\n"
+      "10.0.0.0/8 0\n"
+      "11.0.0.0/8 4\n");
+  const auto result = read_rib(in);
+  EXPECT_EQ(result.routes.size(), 2u);
+  ASSERT_EQ(result.errors.size(), 4u);
+  EXPECT_EQ(result.errors[0].line, 2u);
+  EXPECT_EQ(result.errors[1].line, 3u);
+  EXPECT_EQ(result.errors[1].reason, "missing next-hop field");
+  EXPECT_EQ(result.errors[2].line, 4u);
+  EXPECT_EQ(result.errors[3].line, 5u);
+}
+
+TEST(RibIo, RoundTripsGeneratedTable) {
+  RibConfig config;
+  config.table_size = 2'000;
+  config.seed = 8;
+  const auto fib = generate_rib(config);
+  std::ostringstream out;
+  write_rib(out, fib.routes());
+  std::istringstream in(out.str());
+  const auto result = read_rib(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.routes, fib.routes());
+}
+
+TEST(RibIo, ReadTrieThrowsOnFirstError) {
+  std::istringstream in("10.0.0.0/8 1\nbroken\n");
+  EXPECT_THROW(read_rib_trie(in), std::runtime_error);
+}
+
+TEST(RibIo, ReadTrieBuildsLookupableTable) {
+  std::istringstream in("10.0.0.0/8 1\n10.1.0.0/16 2\n");
+  const auto fib = read_rib_trie(in);
+  EXPECT_EQ(fib.size(), 2u);
+  EXPECT_EQ(fib.lookup(*netbase::Ipv4Address::parse("10.1.2.3")),
+            netbase::make_next_hop(2));
+}
+
+TEST(RibIo, WindowsLineEndingsAccepted) {
+  std::istringstream in("10.0.0.0/8 1\r\n11.0.0.0/8 2\r\n");
+  const auto result = read_rib(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.routes.size(), 2u);
+}
+
+TEST(TraceIo, RoundTrips) {
+  const std::vector<netbase::Ipv4Address> trace{
+      *netbase::Ipv4Address::parse("10.0.0.1"),
+      *netbase::Ipv4Address::parse("192.0.2.200"),
+      *netbase::Ipv4Address::parse("255.255.255.255"),
+  };
+  std::ostringstream out;
+  write_trace(out, trace);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_trace(in), trace);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlanks) {
+  std::istringstream in("# header\n\n10.0.0.1\n  192.0.2.1 \n");
+  const auto trace = read_trace(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].to_string(), "192.0.2.1");
+}
+
+TEST(TraceIo, ThrowsWithLineNumberOnGarbage) {
+  std::istringstream in("10.0.0.1\nnot-an-address\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace clue::workload

@@ -1,0 +1,113 @@
+#include "netbase/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace clue::netbase {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123, 5);
+  Pcg32 b(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 rng(9);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Pcg32, NextBelowZeroOrOneIsZero) {
+  Pcg32 rng(11);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Pcg32, NextBelowIsRoughlyUniform) {
+  Pcg32 rng(17);
+  constexpr std::uint32_t kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(23);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double draw = rng.next_double();
+    ASSERT_GE(draw, 0.0);
+    ASSERT_LT(draw, 1.0);
+    sum += draw;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (std::size_t i = 0; i < 100; ++i) total += zipf.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  const ZipfSampler zipf(50, 0.0);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(zipf.probability(i), 1.0 / 50, 1e-9);
+  }
+}
+
+TEST(Zipf, RanksAreMonotonicallyLessPopular) {
+  const ZipfSampler zipf(1000, 1.0);
+  for (std::size_t i = 1; i < 1000; ++i) {
+    EXPECT_GE(zipf.probability(i - 1), zipf.probability(i) - 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequencyTracksTheory) {
+  const ZipfSampler zipf(64, 1.0);
+  Pcg32 rng(31);
+  std::vector<int> counts(64, 0);
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{10}}) {
+    const double expected = zipf.probability(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, expected * 0.1 + 20);
+  }
+}
+
+TEST(Zipf, SampleInRange) {
+  const ZipfSampler zipf(10, 2.0);
+  Pcg32 rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 10u);
+}
+
+TEST(Zipf, ProbabilityOutOfRangeThrows) {
+  const ZipfSampler zipf(10, 1.0);
+  EXPECT_THROW(zipf.probability(10), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace clue::netbase

@@ -1,0 +1,211 @@
+#include "rrcme/rrc_me.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "onrtc/onrtc.hpp"
+
+namespace clue::rrcme {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+using trie::BinaryTrie;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+Ipv4Address a(const char* text) {
+  const auto parsed = Ipv4Address::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(RrcMe, NoRouteReturnsNothing) {
+  BinaryTrie fib;
+  EXPECT_FALSE(minimal_expansion(fib, a("1.2.3.4")).has_value());
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  EXPECT_FALSE(minimal_expansion(fib, a("11.0.0.0")).has_value());
+}
+
+TEST(RrcMe, LeafMatchIsDirectlyCacheable) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  const auto fill = minimal_expansion(fib, a("10.1.2.3"));
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->prefix, p("10.0.0.0/8"));
+  EXPECT_EQ(fill->next_hop, make_next_hop(1));
+}
+
+TEST(RrcMe, PaperFigure2Shape) {
+  // p = 1* (A), q = 101 (B); looking up 100xxx should yield p' = 100*.
+  BinaryTrie fib;
+  fib.insert(p("128.0.0.0/1"), make_next_hop(1));   // 1*
+  fib.insert(p("160.0.0.0/3"), make_next_hop(2));   // 101
+  const auto fill = minimal_expansion(fib, a("128.0.0.1"));  // 100...
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->prefix, p("128.0.0.0/3"));  // 100*
+  EXPECT_EQ(fill->next_hop, make_next_hop(1));
+}
+
+TEST(RrcMe, MoreSpecificRouteWinsAndIsCacheable) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.1.0.0/16"), make_next_hop(2));
+  const auto fill = minimal_expansion(fib, a("10.1.2.3"));
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->prefix, p("10.1.0.0/16"));
+  EXPECT_EQ(fill->next_hop, make_next_hop(2));
+}
+
+TEST(RrcMe, ExpansionStopsJustPastConflictingSubtrees) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.1.2.0/24"), make_next_hop(2));
+  // 10.0.x.x shares only the /15-level path with 10.1/16's subtree.
+  const auto fill = minimal_expansion(fib, a("10.0.9.9"));
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->next_hop, make_next_hop(1));
+  // Safe: nothing more specific under the returned prefix…
+  EXPECT_TRUE(fill->prefix.contains(a("10.0.9.9")));
+  EXPECT_FALSE(fill->prefix.contains(p("10.1.2.0/24")));
+  // …and minimal: one bit shorter would cover the conflicting subtree's
+  // path (both addresses agree on the first 15 bits).
+  EXPECT_EQ(fill->prefix.length(), 16u);
+}
+
+TEST(RrcMe, HostRouteExpansionIsExact) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.0.0.1/32"), make_next_hop(2));
+  const auto fill = minimal_expansion(fib, a("10.0.0.1"));
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->prefix, p("10.0.0.1/32"));
+  EXPECT_EQ(fill->next_hop, make_next_hop(2));
+}
+
+TEST(RrcMe, SramAccessesAreCounted) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  const auto fill = minimal_expansion(fib, a("10.1.2.3"));
+  ASSERT_TRUE(fill.has_value());
+  // Root + 8 path nodes (the /8 is a leaf, walk stops there).
+  EXPECT_EQ(fill->sram_accesses, 9u);
+}
+
+// Property: a cached fill must answer LPM correctly for EVERY address it
+// covers — that is the whole contract of minimal expansion.
+TEST(RrcMe, FillIsSafeForAllCoveredAddresses) {
+  Pcg32 rng(61);
+  for (int round = 0; round < 15; ++round) {
+    BinaryTrie fib;
+    for (int i = 0; i < 50; ++i) {
+      fib.insert(Prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                        8 + rng.next_below(18)),
+                 make_next_hop(1 + rng.next_below(4)));
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+      const auto fill = minimal_expansion(fib, address);
+      if (!fill) continue;
+      ASSERT_TRUE(fill->prefix.contains(address));
+      for (int inner = 0; inner < 30; ++inner) {
+        const std::uint32_t offset =
+            fill->prefix.length() == 32
+                ? 0
+                : rng.next_below(std::uint32_t{1}
+                                 << (32 - fill->prefix.length()));
+        const Ipv4Address covered(fill->prefix.bits() | offset);
+        ASSERT_EQ(fib.lookup(covered), fill->next_hop)
+            << "fill " << fill->prefix.to_string() << " addr "
+            << covered.to_string();
+      }
+      // Boundaries of the fill too.
+      ASSERT_EQ(fib.lookup(fill->prefix.range_low()), fill->next_hop);
+      ASSERT_EQ(fib.lookup(fill->prefix.range_high()), fill->next_hop);
+    }
+  }
+}
+
+// Property: minimality — one bit shorter must be unsafe (cover an
+// address with a different LPM result) unless it would outgrow the match.
+TEST(RrcMe, FillIsMinimal) {
+  Pcg32 rng(67);
+  for (int round = 0; round < 10; ++round) {
+    BinaryTrie fib;
+    for (int i = 0; i < 60; ++i) {
+      fib.insert(Prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                        8 + rng.next_below(20)),
+                 make_next_hop(1 + rng.next_below(4)));
+    }
+    for (int probe = 0; probe < 40; ++probe) {
+      const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+      const auto fill = minimal_expansion(fib, address);
+      if (!fill) continue;
+      const auto matched = fib.lookup_route(address);
+      ASSERT_TRUE(matched.has_value());
+      if (fill->prefix.length() <= matched->prefix.length()) continue;
+      // The one-bit-shorter candidate must cover some route node deeper
+      // than the match (i.e. the trie has a node there), else the walk
+      // would have stopped earlier.
+      const Prefix shorter = fill->prefix.parent();
+      EXPECT_NE(fib.node_at(shorter), nullptr)
+          << shorter.to_string() << " should not have been expandable";
+    }
+  }
+}
+
+// The CLUE observation: on a non-overlapping table RRC-ME always returns
+// exactly the matched prefix — the control-plane round trip is vacuous.
+TEST(RrcMe, OnDisjointTableFillEqualsMatch) {
+  Pcg32 rng(71);
+  BinaryTrie fib;
+  for (int i = 0; i < 80; ++i) {
+    fib.insert(Prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                      8 + rng.next_below(18)),
+               make_next_hop(1 + rng.next_below(4)));
+  }
+  BinaryTrie disjoint;
+  for (const auto& route : onrtc::compress(fib)) {
+    disjoint.insert(route.prefix, route.next_hop);
+  }
+  ASSERT_TRUE(disjoint.is_disjoint());
+  for (int probe = 0; probe < 300; ++probe) {
+    const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+    const auto fill = minimal_expansion(disjoint, address);
+    const auto matched = disjoint.lookup_route(address);
+    ASSERT_EQ(fill.has_value(), matched.has_value());
+    if (fill) {
+      EXPECT_EQ(fill->prefix, matched->prefix);
+      EXPECT_EQ(fill->next_hop, matched->next_hop);
+    }
+  }
+}
+
+TEST(RrcMe, InvalidationFlagsExactlyOverlappingEntries) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  fib.insert(p("10.1.0.0/16"), make_next_hop(2));
+  const std::vector<Prefix> cached = {p("10.1.2.0/24"), p("10.2.0.0/16"),
+                                      p("11.0.0.0/8"), p("10.0.0.0/8")};
+  const auto result = invalidate_on_update(fib, p("10.1.0.0/16"), cached);
+  ASSERT_EQ(result.stale.size(), 2u);
+  EXPECT_EQ(result.stale[0], p("10.1.2.0/24"));  // descendant
+  EXPECT_EQ(result.stale[1], p("10.0.0.0/8"));   // ancestor
+  EXPECT_GT(result.sram_accesses, cached.size());
+}
+
+TEST(RrcMe, InvalidationOnEmptyCacheOnlyWalks) {
+  BinaryTrie fib;
+  fib.insert(p("10.0.0.0/8"), make_next_hop(1));
+  const auto result = invalidate_on_update(fib, p("10.1.0.0/16"), {});
+  EXPECT_TRUE(result.stale.empty());
+  EXPECT_GT(result.sram_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace clue::rrcme

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "stats/stats.hpp"
+
+namespace clue::stats {
+namespace {
+
+TEST(Percentiles, ThrowsWhenEmpty) {
+  Percentiles percentiles;
+  EXPECT_THROW(percentiles.quantile(0.5), std::logic_error);
+}
+
+TEST(Percentiles, ExactOnKnownData) {
+  Percentiles percentiles;
+  for (int i = 100; i >= 1; --i) percentiles.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(1.0), 100.0);
+  EXPECT_NEAR(percentiles.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(percentiles.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(Percentiles, ClampsOutOfRangeQ) {
+  Percentiles percentiles;
+  percentiles.add(7);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(2.0), 7.0);
+}
+
+TEST(Polyfit, RecoversExactLine) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{1, 3, 5, 7};  // y = 1 + 2x
+  const auto c = polyfit(xs, ys, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);
+}
+
+TEST(Polyfit, RecoversExactCubic) {
+  // y = 2 - x + 0.5x^2 + 0.25x^3
+  const std::vector<double> reference{2.0, -1.0, 0.5, 0.25};
+  std::vector<double> xs, ys;
+  for (int i = -4; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(polyval(reference, i));
+  }
+  const auto c = polyfit(xs, ys, 3);
+  ASSERT_EQ(c.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(c[i], reference[i], 1e-6);
+}
+
+TEST(Polyfit, LeastSquaresOnNoisyData) {
+  netbase::Pcg32 rng(41);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double() * 10;
+    xs.push_back(x);
+    ys.push_back(3.0 + 0.5 * x + (rng.next_double() - 0.5) * 0.01);
+  }
+  const auto c = polyfit(xs, ys, 1);
+  EXPECT_NEAR(c[0], 3.0, 0.01);
+  EXPECT_NEAR(c[1], 0.5, 0.01);
+}
+
+TEST(Polyfit, RejectsUnderdeterminedAndMismatched) {
+  EXPECT_THROW(polyfit({1, 2}, {1, 2}, 2), std::invalid_argument);
+  EXPECT_THROW(polyfit({1, 2, 3}, {1, 2}, 1), std::invalid_argument);
+}
+
+TEST(Polyfit, RejectsDegenerateXs) {
+  EXPECT_THROW(polyfit({2, 2, 2}, {1, 2, 3}, 1), std::invalid_argument);
+}
+
+TEST(Polyval, HornerMatchesDirectEvaluation) {
+  const std::vector<double> c{1, -2, 3};
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 1 - 4 + 12);
+  EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace clue::stats

@@ -1,0 +1,118 @@
+#include "stats/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace clue::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_EQ(summary.mean(), 0.0);
+  EXPECT_EQ(summary.min(), 0.0);
+  EXPECT_EQ(summary.max(), 0.0);
+  EXPECT_EQ(summary.stddev(), 0.0);
+}
+
+TEST(Summary, TracksMoments) {
+  Summary summary;
+  for (const double value : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    summary.add(value);
+  }
+  EXPECT_EQ(summary.count(), 8u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(summary.min(), 2.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 9.0);
+  EXPECT_NEAR(summary.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Summary, SingleValue) {
+  Summary summary;
+  summary.add(42.0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(summary.variance(), 0.0);
+}
+
+TEST(Histogram, ValidatesArguments) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValues) {
+  Histogram histogram(0, 10, 5);
+  histogram.add(0.5);
+  histogram.add(1.5);
+  histogram.add(9.5);
+  EXPECT_EQ(histogram.bin_count(0), 2u);
+  EXPECT_EQ(histogram.bin_count(4), 1u);
+  EXPECT_EQ(histogram.total(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.bin_low(2), 4.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram histogram(0, 10, 5);
+  histogram.add(-100);
+  histogram.add(+100);
+  EXPECT_EQ(histogram.bin_count(0), 1u);
+  EXPECT_EQ(histogram.bin_count(4), 1u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram histogram(0, 100, 100);
+  for (int i = 0; i < 100; ++i) histogram.add(i + 0.5);
+  EXPECT_NEAR(histogram.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(TimeSeries, BucketsMeans) {
+  TimeSeries series(3);
+  for (const double value : {1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 5.0}) {
+    series.add(value);
+  }
+  const auto means = series.bucket_means();
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+  EXPECT_DOUBLE_EQ(means[2], 5.0);  // trailing partial bucket
+  EXPECT_EQ(series.overall().count(), 7u);
+}
+
+TEST(TimeSeries, RejectsZeroBucket) {
+  EXPECT_THROW(TimeSeries(0), std::invalid_argument);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"id", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-identifier", "2"});
+  std::ostringstream os;
+  table.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("long-identifier"), std::string::npos);
+  // Header row and rule plus two data rows = 4 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, RejectsRaggedRows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(percent(0.7188), "71.88%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  write_csv(os, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace clue::stats

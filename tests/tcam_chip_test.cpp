@@ -1,0 +1,175 @@
+#include "tcam/tcam_chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+
+namespace clue::tcam {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+Ipv4Address a(const char* text) {
+  const auto parsed = Ipv4Address::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(TcamChip, RejectsZeroCapacity) {
+  EXPECT_THROW(TcamChip(0), std::invalid_argument);
+}
+
+TEST(TcamChip, StartsEmpty) {
+  TcamChip chip(16);
+  EXPECT_EQ(chip.capacity(), 16u);
+  EXPECT_EQ(chip.occupied(), 0u);
+  EXPECT_FALSE(chip.full());
+  EXPECT_FALSE(chip.search(a("1.2.3.4")).hit);
+}
+
+TEST(TcamChip, WriteReadInvalidate) {
+  TcamChip chip(8);
+  chip.write(3, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_EQ(chip.occupied(), 1u);
+  ASSERT_TRUE(chip.read(3).has_value());
+  EXPECT_EQ(chip.read(3)->prefix, p("10.0.0.0/8"));
+  chip.invalidate(3);
+  EXPECT_EQ(chip.occupied(), 0u);
+  EXPECT_FALSE(chip.read(3).has_value());
+}
+
+TEST(TcamChip, SearchFindsMatch) {
+  TcamChip chip(8);
+  chip.write(5, TcamEntry{p("10.0.0.0/8"), make_next_hop(7)});
+  const auto result = chip.search(a("10.1.2.3"));
+  EXPECT_TRUE(result.hit);
+  EXPECT_EQ(result.slot, 5u);
+  EXPECT_EQ(result.next_hop, make_next_hop(7));
+  EXPECT_EQ(result.match_count, 1u);
+  EXPECT_FALSE(chip.search(a("11.0.0.0")).hit);
+}
+
+TEST(TcamChip, PriorityEncoderPicksLowestSlot) {
+  TcamChip chip(8);
+  // Overlapping entries: the *slot order*, not prefix length, decides.
+  chip.write(2, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.write(6, TcamEntry{p("10.1.0.0/16"), make_next_hop(2)});
+  const auto result = chip.search(a("10.1.2.3"));
+  EXPECT_EQ(result.match_count, 2u);
+  EXPECT_EQ(result.slot, 2u);
+  EXPECT_EQ(result.next_hop, make_next_hop(1));  // NOT the longest match!
+}
+
+TEST(TcamChip, DuplicatePrefixInOtherSlotThrows) {
+  TcamChip chip(8);
+  chip.write(1, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_THROW(chip.write(2, TcamEntry{p("10.0.0.0/8"), make_next_hop(2)}),
+               std::logic_error);
+}
+
+TEST(TcamChip, OverwriteSameSlotReplacesEntry) {
+  TcamChip chip(8);
+  chip.write(1, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.write(1, TcamEntry{p("11.0.0.0/8"), make_next_hop(2)});
+  EXPECT_EQ(chip.occupied(), 1u);
+  EXPECT_FALSE(chip.search(a("10.0.0.1")).hit);
+  EXPECT_TRUE(chip.search(a("11.0.0.1")).hit);
+}
+
+TEST(TcamChip, MoveRelocates) {
+  TcamChip chip(8);
+  chip.write(0, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.move(0, 7);
+  EXPECT_FALSE(chip.read(0).has_value());
+  ASSERT_TRUE(chip.read(7).has_value());
+  EXPECT_EQ(chip.search(a("10.0.0.1")).slot, 7u);
+  EXPECT_EQ(chip.stats().moves, 1u);
+}
+
+TEST(TcamChip, MoveGuardsPreconditions) {
+  TcamChip chip(8);
+  chip.write(0, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.write(1, TcamEntry{p("11.0.0.0/8"), make_next_hop(2)});
+  EXPECT_THROW(chip.move(2, 3), std::logic_error);  // empty source
+  EXPECT_THROW(chip.move(0, 1), std::logic_error);  // occupied destination
+}
+
+TEST(TcamChip, SlotOfTracksLocation) {
+  TcamChip chip(8);
+  EXPECT_FALSE(chip.slot_of(p("10.0.0.0/8")).has_value());
+  chip.write(4, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_EQ(chip.slot_of(p("10.0.0.0/8")), 4u);
+  chip.move(4, 2);
+  EXPECT_EQ(chip.slot_of(p("10.0.0.0/8")), 2u);
+  chip.invalidate(2);
+  EXPECT_FALSE(chip.slot_of(p("10.0.0.0/8")).has_value());
+}
+
+TEST(TcamChip, StatsCountOperations) {
+  TcamChip chip(8);
+  chip.write(0, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.search(a("10.0.0.1"));
+  chip.search(a("11.0.0.1"));
+  chip.invalidate(0);
+  const auto& stats = chip.stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.searches, 2u);
+  EXPECT_EQ(stats.invalidates, 1u);
+  EXPECT_EQ(stats.activated_entries, 2u);  // 1 valid entry × 2 searches
+  chip.reset_stats();
+  EXPECT_EQ(chip.stats().searches, 0u);
+}
+
+TEST(TcamChip, EntriesListsAscendingSlots) {
+  TcamChip chip(8);
+  chip.write(6, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.write(1, TcamEntry{p("11.0.0.0/8"), make_next_hop(2)});
+  const auto entries = chip.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 1u);
+  EXPECT_EQ(entries[1].first, 6u);
+}
+
+// The indexed search must agree with the honest linear scan, always.
+TEST(TcamChip, IndexedSearchMatchesLinearScan) {
+  Pcg32 rng(73);
+  TcamChip chip(256);
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.5 && !chip.full()) {
+      const Prefix prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                          8 + rng.next_below(18));
+      if (!chip.slot_of(prefix)) {
+        // Pick a random empty slot.
+        std::size_t slot = rng.next_below(256);
+        while (chip.read(slot)) slot = (slot + 1) % 256;
+        chip.write(slot, TcamEntry{prefix, make_next_hop(1 + rng.next_below(8))});
+      }
+    } else if (action < 0.7 && chip.occupied() > 0) {
+      std::size_t slot = rng.next_below(256);
+      while (!chip.read(slot)) slot = (slot + 1) % 256;
+      chip.invalidate(slot);
+    } else {
+      const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+      const auto fast = chip.search(address);
+      const auto slow = chip.search_linear(address);
+      ASSERT_EQ(fast.hit, slow.hit);
+      ASSERT_EQ(fast.match_count, slow.match_count);
+      if (fast.hit) {
+        ASSERT_EQ(fast.slot, slow.slot);
+        ASSERT_EQ(fast.next_hop, slow.next_hop);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clue::tcam

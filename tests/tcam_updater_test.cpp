@@ -1,0 +1,287 @@
+#include "tcam/updater.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "netbase/rng.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::tcam {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::make_next_hop;
+using netbase::Pcg32;
+
+Prefix p(const char* text) {
+  const auto parsed = Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+// For LPM-correct layouts (naive, shah-gupta) the priority-encoded
+// search result must equal true LPM over the stored set. For the CLUE
+// updater the stored set is disjoint so any layout is LPM-correct.
+void expect_lpm_correct(TcamUpdater& updater, const trie::BinaryTrie& truth,
+                        Pcg32& rng, int probes = 200) {
+  for (int i = 0; i < probes; ++i) {
+    const Ipv4Address address(0x0A000000u | (rng.next() & 0xFFFFFF));
+    const auto result = updater.chip().search(address);
+    const auto expected = truth.lookup(address);
+    ASSERT_EQ(result.hit, expected != netbase::kNoRoute)
+        << updater.name() << " " << address.to_string();
+    if (result.hit) {
+      ASSERT_EQ(result.next_hop, expected)
+          << updater.name() << " " << address.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared behaviour, parameterised over the three updaters.
+
+enum class Kind { kNaive, kShahGupta, kClue };
+
+std::unique_ptr<TcamUpdater> make_updater(Kind kind, std::size_t capacity) {
+  switch (kind) {
+    case Kind::kNaive: return std::make_unique<NaiveUpdater>(capacity);
+    case Kind::kShahGupta:
+      return std::make_unique<ShahGuptaUpdater>(capacity);
+    case Kind::kClue: return std::make_unique<ClueUpdater>(capacity);
+  }
+  return nullptr;
+}
+
+class UpdaterSuite : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(UpdaterSuite, InsertThenSearch) {
+  auto updater = make_updater(GetParam(), 64);
+  updater->insert(TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  const auto result = updater->chip().search(
+      *Ipv4Address::parse("10.1.2.3"));
+  EXPECT_TRUE(result.hit);
+  EXPECT_EQ(result.next_hop, make_next_hop(1));
+  EXPECT_EQ(updater->size(), 1u);
+}
+
+TEST_P(UpdaterSuite, InsertExistingRewritesInPlace) {
+  auto updater = make_updater(GetParam(), 64);
+  updater->insert(TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  const std::size_t ops =
+      updater->insert(TcamEntry{p("10.0.0.0/8"), make_next_hop(2)});
+  EXPECT_EQ(ops, 1u);
+  EXPECT_EQ(updater->size(), 1u);
+  EXPECT_EQ(
+      updater->chip().search(*Ipv4Address::parse("10.0.0.1")).next_hop,
+      make_next_hop(2));
+}
+
+TEST_P(UpdaterSuite, EraseMissingCostsNothing) {
+  auto updater = make_updater(GetParam(), 64);
+  EXPECT_EQ(updater->erase(p("10.0.0.0/8")), 0u);
+}
+
+TEST_P(UpdaterSuite, EraseRemoves) {
+  auto updater = make_updater(GetParam(), 64);
+  updater->insert(TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  updater->insert(TcamEntry{p("11.0.0.0/8"), make_next_hop(2)});
+  EXPECT_GT(updater->erase(p("10.0.0.0/8")), 0u);
+  EXPECT_EQ(updater->size(), 1u);
+  EXPECT_FALSE(
+      updater->chip().search(*Ipv4Address::parse("10.0.0.1")).hit);
+  EXPECT_TRUE(
+      updater->chip().search(*Ipv4Address::parse("11.0.0.1")).hit);
+}
+
+TEST_P(UpdaterSuite, FullTcamThrows) {
+  auto updater = make_updater(GetParam(), 2);
+  updater->insert(TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  updater->insert(TcamEntry{p("11.0.0.0/8"), make_next_hop(2)});
+  EXPECT_THROW(
+      updater->insert(TcamEntry{p("12.0.0.0/8"), make_next_hop(3)}),
+      std::length_error);
+}
+
+TEST_P(UpdaterSuite, RandomizedChurnKeepsLpmCorrect) {
+  Pcg32 rng(79 + static_cast<int>(GetParam()));
+  auto updater = make_updater(GetParam(), 4096);
+  trie::BinaryTrie truth;
+  const bool disjoint_only = GetParam() == Kind::kClue;
+  for (int step = 0; step < 1500; ++step) {
+    const Prefix prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFFFF)),
+                        disjoint_only ? 24 : 8 + rng.next_below(18));
+    if (rng.chance(0.7)) {
+      const auto hop = make_next_hop(1 + rng.next_below(8));
+      updater->insert(TcamEntry{prefix, hop});
+      truth.insert(prefix, hop);
+    } else {
+      updater->erase(prefix);
+      truth.erase(prefix);
+    }
+    if (step % 100 == 99) expect_lpm_correct(*updater, truth, rng, 50);
+  }
+  EXPECT_EQ(updater->size(), truth.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUpdaters, UpdaterSuite,
+                         ::testing::Values(Kind::kNaive, Kind::kShahGupta,
+                                           Kind::kClue),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kNaive: return "Naive";
+                             case Kind::kShahGupta: return "ShahGupta";
+                             case Kind::kClue: return "Clue";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------------------------------------------------------------------------
+// Cost-shape properties: the whole point of §IV-B.
+
+TEST(NaiveUpdater, LayoutIsLengthSortedAndContiguous) {
+  NaiveUpdater updater(64);
+  updater.insert(TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  updater.insert(TcamEntry{p("10.1.2.0/24"), make_next_hop(2)});
+  updater.insert(TcamEntry{p("10.1.0.0/16"), make_next_hop(3)});
+  const auto entries = updater.chip().entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].second.prefix.length(), 24u);
+  EXPECT_EQ(entries[1].second.prefix.length(), 16u);
+  EXPECT_EQ(entries[2].second.prefix.length(), 8u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].first, i);  // contiguous from slot 0
+  }
+}
+
+TEST(NaiveUpdater, InsertAtTopShiftsEverything) {
+  NaiveUpdater updater(64);
+  for (int i = 0; i < 10; ++i) {
+    updater.insert(TcamEntry{
+        Prefix(Ipv4Address(static_cast<std::uint32_t>(i) << 24), 8),
+        make_next_hop(1)});
+  }
+  // A /24 goes to slot 0: 10 moves + 1 write.
+  const std::size_t ops =
+      updater.insert(TcamEntry{p("99.1.2.0/24"), make_next_hop(2)});
+  EXPECT_EQ(ops, 11u);
+}
+
+TEST(ShahGuptaUpdater, CostBoundedByBlockCount) {
+  Pcg32 rng(83);
+  ShahGuptaUpdater updater(16384);
+  for (int i = 0; i < 4000; ++i) {
+    const Prefix prefix(Ipv4Address(rng.next()), 8 + rng.next_below(25));
+    const std::size_t ops =
+        updater.insert(TcamEntry{prefix, make_next_hop(1)});
+    // ≤ one move per non-empty shorter block + the final write.
+    EXPECT_LE(ops, 33u);
+  }
+}
+
+TEST(ShahGuptaUpdater, BlocksStayLengthOrdered) {
+  Pcg32 rng(89);
+  ShahGuptaUpdater updater(8192);
+  trie::BinaryTrie truth;
+  for (int step = 0; step < 2000; ++step) {
+    const Prefix prefix(Ipv4Address(rng.next()), 8 + rng.next_below(25));
+    if (rng.chance(0.65)) {
+      updater.insert(TcamEntry{prefix, make_next_hop(1)});
+      truth.insert(prefix, make_next_hop(1));
+    } else {
+      updater.erase(prefix);
+      truth.erase(prefix);
+    }
+  }
+  const auto entries = updater.chip().entries();
+  ASSERT_EQ(entries.size(), truth.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].first, i);  // contiguous
+    if (i > 0) {
+      EXPECT_GE(entries[i - 1].second.prefix.length(),
+                entries[i].second.prefix.length());
+    }
+  }
+}
+
+TEST(ClueUpdater, InsertIsOneOperation) {
+  Pcg32 rng(97);
+  ClueUpdater updater(8192);
+  for (int i = 0; i < 2000; ++i) {
+    const Prefix prefix(Ipv4Address(rng.next()), 24);
+    const std::size_t before = updater.size();
+    const std::size_t ops =
+        updater.insert(TcamEntry{prefix, make_next_hop(1)});
+    EXPECT_EQ(ops, 1u);
+    if (updater.size() == before + 1) {
+      EXPECT_EQ(updater.chip().stats().moves, 0u);
+    }
+  }
+}
+
+TEST(ClueUpdater, EraseIsOneOperation) {
+  Pcg32 rng(101);
+  ClueUpdater updater(8192);
+  std::vector<Prefix> stored;
+  for (int i = 0; i < 1000; ++i) {
+    const Prefix prefix(Ipv4Address(rng.next()), 24);
+    if (!updater.chip().slot_of(prefix)) {
+      updater.insert(TcamEntry{prefix, make_next_hop(1)});
+      stored.push_back(prefix);
+    }
+  }
+  for (const auto& prefix : stored) {
+    EXPECT_EQ(updater.erase(prefix), 1u);
+  }
+  EXPECT_EQ(updater.size(), 0u);
+}
+
+TEST(ClueUpdater, RegionStaysDense) {
+  Pcg32 rng(103);
+  ClueUpdater updater(4096);
+  trie::BinaryTrie truth;
+  for (int step = 0; step < 3000; ++step) {
+    const Prefix prefix(Ipv4Address(0x0A000000u | (rng.next() & 0xFFFF00)),
+                        24);
+    if (rng.chance(0.6)) {
+      updater.insert(TcamEntry{prefix, make_next_hop(1)});
+      truth.insert(prefix, make_next_hop(1));
+    } else {
+      updater.erase(prefix);
+      truth.erase(prefix);
+    }
+    ASSERT_EQ(updater.size(), truth.size());
+  }
+  const auto entries = updater.chip().entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    ASSERT_EQ(entries[i].first, i);  // no holes, ever
+  }
+}
+
+// §IV-B's headline numbers: Shah-Gupta ≈15 ops on a realistic mix,
+// CLUE exactly 1.
+TEST(UpdaterComparison, ShahGuptaAveragesNearFifteenOpsOnBgpMix) {
+  Pcg32 rng(107);
+  ShahGuptaUpdater updater(262144);
+  // Populate with a realistic length spread first.
+  for (int i = 0; i < 30000; ++i) {
+    const unsigned length = 8 + rng.next_below(17);  // /8../24
+    updater.insert(TcamEntry{
+        Prefix(Ipv4Address(rng.next()), length), make_next_hop(1)});
+  }
+  double total_ops = 0;
+  int updates = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Prefix prefix(Ipv4Address(rng.next()), 20 + rng.next_below(5));
+    total_ops += static_cast<double>(
+        updater.insert(TcamEntry{prefix, make_next_hop(2)}));
+    ++updates;
+  }
+  const double mean = total_ops / updates;
+  EXPECT_GT(mean, 10.0);
+  EXPECT_LT(mean, 20.0);
+}
+
+}  // namespace
+}  // namespace clue::tcam

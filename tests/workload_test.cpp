@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/rib_gen.hpp"
+#include "workload/traffic_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue::workload {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::kNoRoute;
+using netbase::Pcg32;
+using netbase::Prefix;
+
+TEST(PaperRouters, TwelveProfilesMatchTableOne) {
+  const auto& routers = paper_routers();
+  ASSERT_EQ(routers.size(), 12u);
+  EXPECT_EQ(routers.front().id, "rrc01");
+  EXPECT_EQ(routers.front().location, "LINX, London");
+  EXPECT_EQ(routers.back().id, "rrc16");
+  std::set<std::uint64_t> seeds;
+  for (const auto& router : routers) seeds.insert(router.seed);
+  EXPECT_EQ(seeds.size(), routers.size()) << "seeds must be distinct";
+}
+
+TEST(RibGenerator, HitsRequestedSize) {
+  RibConfig config;
+  config.table_size = 10'000;
+  const auto fib = generate_rib(config);
+  EXPECT_GE(fib.size(), config.table_size);
+  EXPECT_LT(fib.size(), config.table_size + 64);
+}
+
+TEST(RibGenerator, DeterministicPerSeed) {
+  RibConfig config;
+  config.table_size = 3'000;
+  config.seed = 77;
+  const auto a = generate_rib(config);
+  const auto b = generate_rib(config);
+  EXPECT_EQ(a.routes(), b.routes());
+  config.seed = 78;
+  const auto c = generate_rib(config);
+  EXPECT_NE(a.routes(), c.routes());
+}
+
+TEST(RibGenerator, LengthHistogramPeaksAtSlash24) {
+  RibConfig config;
+  config.table_size = 30'000;
+  const auto fib = generate_rib(config);
+  std::map<unsigned, std::size_t> histogram;
+  fib.for_each_route([&histogram](const netbase::Route& route) {
+    ++histogram[route.prefix.length()];
+  });
+  std::size_t best_count = 0;
+  unsigned best_length = 0;
+  for (const auto& [length, count] : histogram) {
+    if (count > best_count) {
+      best_count = count;
+      best_length = length;
+    }
+  }
+  EXPECT_EQ(best_length, 24u);
+  EXPECT_GT(static_cast<double>(best_count) / fib.size(), 0.3);
+}
+
+TEST(RibGenerator, NextHopsWithinConfiguredRange) {
+  RibConfig config;
+  config.table_size = 5'000;
+  config.next_hops = 8;
+  const auto fib = generate_rib(config);
+  fib.for_each_route([&config](const netbase::Route& route) {
+    const auto hop = netbase::to_index(route.next_hop);
+    ASSERT_GE(hop, 1u);
+    ASSERT_LE(hop, config.next_hops);
+  });
+}
+
+TEST(SamplePrefixLength, StaysInBgpRange) {
+  Pcg32 rng(81);
+  for (int i = 0; i < 10'000; ++i) {
+    const unsigned length = sample_prefix_length(rng);
+    ASSERT_GE(length, 8u);
+    ASSERT_LE(length, 26u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(UpdateGenerator, RequiresNonEmptyTable) {
+  trie::BinaryTrie empty;
+  EXPECT_THROW(UpdateGenerator(empty, UpdateConfig{}), std::invalid_argument);
+}
+
+TEST(UpdateGenerator, WithdrawalsAlwaysHitLiveRoutes) {
+  RibConfig rib_config;
+  rib_config.table_size = 2'000;
+  const auto fib = generate_rib(rib_config);
+  trie::BinaryTrie replay(fib);
+  UpdateConfig config;
+  config.announce_ratio = 0.5;
+  UpdateGenerator generator(fib, config);
+  for (int i = 0; i < 3'000; ++i) {
+    const auto msg = generator.next();
+    if (msg.kind == UpdateKind::kWithdraw) {
+      ASSERT_TRUE(replay.erase(msg.prefix)) << msg.prefix.to_string();
+    } else {
+      replay.insert(msg.prefix, msg.next_hop);
+    }
+  }
+}
+
+TEST(UpdateGenerator, ReannouncesChangeTheNextHop) {
+  RibConfig rib_config;
+  rib_config.table_size = 1'000;
+  const auto fib = generate_rib(rib_config);
+  trie::BinaryTrie replay(fib);
+  UpdateConfig config;
+  config.announce_ratio = 1.0;
+  config.new_prefix_ratio = 0.0;  // only re-announces
+  UpdateGenerator generator(fib, config);
+  int changed = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto msg = generator.next();
+    ASSERT_EQ(msg.kind, UpdateKind::kAnnounce);
+    const auto existing = replay.find(msg.prefix);
+    ASSERT_TRUE(existing.has_value()) << "re-announce of unknown prefix";
+    if (*existing != msg.next_hop) ++changed;
+    replay.insert(msg.prefix, msg.next_hop);
+  }
+  EXPECT_GT(changed, 450);  // different hop almost always
+}
+
+TEST(UpdateGenerator, FreshAnnouncesAvoidLivePrefixes) {
+  RibConfig rib_config;
+  rib_config.table_size = 1'000;
+  const auto fib = generate_rib(rib_config);
+  trie::BinaryTrie replay(fib);
+  UpdateConfig config;
+  config.announce_ratio = 1.0;
+  config.new_prefix_ratio = 1.0;  // only fresh announces
+  UpdateGenerator generator(fib, config);
+  for (int i = 0; i < 1'000; ++i) {
+    const auto msg = generator.next();
+    ASSERT_EQ(msg.kind, UpdateKind::kAnnounce);
+    ASSERT_FALSE(replay.find(msg.prefix).has_value())
+        << msg.prefix.to_string();
+    replay.insert(msg.prefix, msg.next_hop);
+  }
+}
+
+TEST(UpdateGenerator, DeterministicPerSeed) {
+  RibConfig rib_config;
+  rib_config.table_size = 500;
+  const auto fib = generate_rib(rib_config);
+  UpdateConfig config;
+  config.seed = 91;
+  UpdateGenerator a(fib, config);
+  UpdateGenerator b(fib, config);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TrafficGenerator, RequiresPrefixes) {
+  EXPECT_THROW(TrafficGenerator({}, TrafficConfig{}), std::invalid_argument);
+}
+
+TEST(TrafficGenerator, AddressesAlwaysInsideSomePrefix) {
+  RibConfig rib_config;
+  rib_config.table_size = 1'000;
+  const auto fib = generate_rib(rib_config);
+  std::vector<Prefix> prefixes;
+  fib.for_each_route([&prefixes](const netbase::Route& route) {
+    prefixes.push_back(route.prefix);
+  });
+  TrafficGenerator traffic(prefixes, TrafficConfig{});
+  for (int i = 0; i < 5'000; ++i) {
+    const auto address = traffic.next();
+    ASSERT_NE(fib.lookup(address), kNoRoute) << address.to_string();
+  }
+}
+
+TEST(TrafficGenerator, ZipfSkewConcentratesTraffic) {
+  std::vector<Prefix> prefixes;
+  for (std::uint32_t i = 0; i < 1'000; ++i) {
+    prefixes.push_back(Prefix(Ipv4Address(i << 16), 16));
+  }
+  TrafficConfig config;
+  config.zipf_skew = 1.2;
+  TrafficGenerator traffic(prefixes, config);
+  std::map<std::uint32_t, std::size_t> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[traffic.next().value() >> 16];
+  // Top prefix should carry far more than the uniform share.
+  std::size_t top = 0;
+  for (const auto& [key, count] : counts) top = std::max(top, count);
+  EXPECT_GT(top, 50'000 / 1'000 * 20);
+}
+
+TEST(TrafficGenerator, BurstRotationChangesHotSet) {
+  std::vector<Prefix> prefixes;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    prefixes.push_back(Prefix(Ipv4Address(i << 24), 8));
+  }
+  TrafficConfig config;
+  config.zipf_skew = 1.5;
+  config.burst_period = 2'000;
+  TrafficGenerator traffic(prefixes, config);
+  const auto hottest = [&traffic] {
+    std::map<std::uint32_t, int> counts;
+    for (int i = 0; i < 2'000; ++i) ++counts[traffic.next().value() >> 24];
+    std::uint32_t best = 0;
+    int best_count = -1;
+    for (const auto& [key, count] : counts) {
+      if (count > best_count) {
+        best = key;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  std::set<std::uint32_t> leaders;
+  for (int phase = 0; phase < 6; ++phase) leaders.insert(hottest());
+  EXPECT_GT(leaders.size(), 1u) << "hot set never rotated";
+}
+
+TEST(TrafficGenerator, DeterministicPerSeed) {
+  std::vector<Prefix> prefixes{*Prefix::parse("10.0.0.0/8"),
+                               *Prefix::parse("11.0.0.0/8")};
+  TrafficConfig config;
+  config.seed = 97;
+  TrafficGenerator a(prefixes, config);
+  TrafficGenerator b(prefixes, config);
+  for (int i = 0; i < 500; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace clue::workload
