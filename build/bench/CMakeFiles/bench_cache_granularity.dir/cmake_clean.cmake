@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_granularity.dir/bench_cache_granularity.cpp.o"
+  "CMakeFiles/bench_cache_granularity.dir/bench_cache_granularity.cpp.o.d"
+  "bench_cache_granularity"
+  "bench_cache_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dred_exclusion.dir/bench_dred_exclusion.cpp.o"
+  "CMakeFiles/bench_dred_exclusion.dir/bench_dred_exclusion.cpp.o.d"
+  "bench_dred_exclusion"
+  "bench_dred_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dred_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fifo_sweep.dir/bench_fifo_sweep.cpp.o"
+  "CMakeFiles/bench_fifo_sweep.dir/bench_fifo_sweep.cpp.o.d"
+  "bench_fifo_sweep"
+  "bench_fifo_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

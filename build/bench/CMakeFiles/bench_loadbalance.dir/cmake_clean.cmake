@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loadbalance.dir/bench_loadbalance.cpp.o"
+  "CMakeFiles/bench_loadbalance.dir/bench_loadbalance.cpp.o.d"
+  "bench_loadbalance"
+  "bench_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

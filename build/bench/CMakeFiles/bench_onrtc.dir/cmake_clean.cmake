@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_onrtc.dir/bench_onrtc.cpp.o"
+  "CMakeFiles/bench_onrtc.dir/bench_onrtc.cpp.o.d"
+  "bench_onrtc"
+  "bench_onrtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_onrtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_encoder.dir/bench_priority_encoder.cpp.o"
+  "CMakeFiles/bench_priority_encoder.dir/bench_priority_encoder.cpp.o.d"
+  "bench_priority_encoder"
+  "bench_priority_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_speedup.cpp" "bench/CMakeFiles/bench_speedup.dir/bench_speedup.cpp.o" "gcc" "bench/CMakeFiles/bench_speedup.dir/bench_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/clue_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/clue_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/onrtc/CMakeFiles/clue_onrtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrcme/CMakeFiles/clue_rrcme.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/clue_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/clue_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/clue_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/clue_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clue_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clue_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/clue_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

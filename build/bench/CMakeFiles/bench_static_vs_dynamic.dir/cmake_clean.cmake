@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_vs_dynamic.dir/bench_static_vs_dynamic.cpp.o"
+  "CMakeFiles/bench_static_vs_dynamic.dir/bench_static_vs_dynamic.cpp.o.d"
+  "bench_static_vs_dynamic"
+  "bench_static_vs_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_vs_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

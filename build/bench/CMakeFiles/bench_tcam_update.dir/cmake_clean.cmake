@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcam_update.dir/bench_tcam_update.cpp.o"
+  "CMakeFiles/bench_tcam_update.dir/bench_tcam_update.cpp.o.d"
+  "bench_tcam_update"
+  "bench_tcam_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcam_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

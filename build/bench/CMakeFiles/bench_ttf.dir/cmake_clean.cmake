@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttf.dir/bench_ttf.cpp.o"
+  "CMakeFiles/bench_ttf.dir/bench_ttf.cpp.o.d"
+  "bench_ttf"
+  "bench_ttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_interference.dir/bench_update_interference.cpp.o"
+  "CMakeFiles/bench_update_interference.dir/bench_update_interference.cpp.o.d"
+  "bench_update_interference"
+  "bench_update_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_survivor.dir/burst_survivor.cpp.o"
+  "CMakeFiles/burst_survivor.dir/burst_survivor.cpp.o.d"
+  "burst_survivor"
+  "burst_survivor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_survivor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

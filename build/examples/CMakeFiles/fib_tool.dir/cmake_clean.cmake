@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fib_tool.dir/fib_tool.cpp.o"
+  "CMakeFiles/fib_tool.dir/fib_tool.cpp.o.d"
+  "fib_tool"
+  "fib_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fib_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

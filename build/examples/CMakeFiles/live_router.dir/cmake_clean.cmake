@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_router.dir/live_router.cpp.o"
+  "CMakeFiles/live_router.dir/live_router.cpp.o.d"
+  "live_router"
+  "live_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_linecard.dir/router_linecard.cpp.o"
+  "CMakeFiles/router_linecard.dir/router_linecard.cpp.o.d"
+  "router_linecard"
+  "router_linecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_linecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

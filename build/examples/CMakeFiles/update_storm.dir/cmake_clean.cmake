@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_storm.dir/update_storm.cpp.o"
+  "CMakeFiles/update_storm.dir/update_storm.cpp.o.d"
+  "update_storm"
+  "update_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netbase")
+subdirs("trie")
+subdirs("onrtc")
+subdirs("rrcme")
+subdirs("tcam")
+subdirs("partition")
+subdirs("engine")
+subdirs("update")
+subdirs("system")
+subdirs("workload")
+subdirs("stats")

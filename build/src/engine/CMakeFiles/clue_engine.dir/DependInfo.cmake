@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/address_cache.cpp" "src/engine/CMakeFiles/clue_engine.dir/address_cache.cpp.o" "gcc" "src/engine/CMakeFiles/clue_engine.dir/address_cache.cpp.o.d"
+  "/root/repo/src/engine/dred.cpp" "src/engine/CMakeFiles/clue_engine.dir/dred.cpp.o" "gcc" "src/engine/CMakeFiles/clue_engine.dir/dred.cpp.o.d"
+  "/root/repo/src/engine/indexing_logic.cpp" "src/engine/CMakeFiles/clue_engine.dir/indexing_logic.cpp.o" "gcc" "src/engine/CMakeFiles/clue_engine.dir/indexing_logic.cpp.o.d"
+  "/root/repo/src/engine/parallel_engine.cpp" "src/engine/CMakeFiles/clue_engine.dir/parallel_engine.cpp.o" "gcc" "src/engine/CMakeFiles/clue_engine.dir/parallel_engine.cpp.o.d"
+  "/root/repo/src/engine/reorder_buffer.cpp" "src/engine/CMakeFiles/clue_engine.dir/reorder_buffer.cpp.o" "gcc" "src/engine/CMakeFiles/clue_engine.dir/reorder_buffer.cpp.o.d"
+  "/root/repo/src/engine/slpl_setup.cpp" "src/engine/CMakeFiles/clue_engine.dir/slpl_setup.cpp.o" "gcc" "src/engine/CMakeFiles/clue_engine.dir/slpl_setup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trie/CMakeFiles/clue_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrcme/CMakeFiles/clue_rrcme.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/clue_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/clue_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_engine.dir/address_cache.cpp.o"
+  "CMakeFiles/clue_engine.dir/address_cache.cpp.o.d"
+  "CMakeFiles/clue_engine.dir/dred.cpp.o"
+  "CMakeFiles/clue_engine.dir/dred.cpp.o.d"
+  "CMakeFiles/clue_engine.dir/indexing_logic.cpp.o"
+  "CMakeFiles/clue_engine.dir/indexing_logic.cpp.o.d"
+  "CMakeFiles/clue_engine.dir/parallel_engine.cpp.o"
+  "CMakeFiles/clue_engine.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/clue_engine.dir/reorder_buffer.cpp.o"
+  "CMakeFiles/clue_engine.dir/reorder_buffer.cpp.o.d"
+  "CMakeFiles/clue_engine.dir/slpl_setup.cpp.o"
+  "CMakeFiles/clue_engine.dir/slpl_setup.cpp.o.d"
+  "libclue_engine.a"
+  "libclue_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

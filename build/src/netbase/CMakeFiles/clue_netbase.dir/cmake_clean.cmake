@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_netbase.dir/ipv4.cpp.o"
+  "CMakeFiles/clue_netbase.dir/ipv4.cpp.o.d"
+  "CMakeFiles/clue_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/clue_netbase.dir/prefix.cpp.o.d"
+  "CMakeFiles/clue_netbase.dir/rng.cpp.o"
+  "CMakeFiles/clue_netbase.dir/rng.cpp.o.d"
+  "libclue_netbase.a"
+  "libclue_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

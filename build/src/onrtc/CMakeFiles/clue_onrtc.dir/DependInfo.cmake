@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/onrtc/baselines.cpp" "src/onrtc/CMakeFiles/clue_onrtc.dir/baselines.cpp.o" "gcc" "src/onrtc/CMakeFiles/clue_onrtc.dir/baselines.cpp.o.d"
+  "/root/repo/src/onrtc/compressed_fib.cpp" "src/onrtc/CMakeFiles/clue_onrtc.dir/compressed_fib.cpp.o" "gcc" "src/onrtc/CMakeFiles/clue_onrtc.dir/compressed_fib.cpp.o.d"
+  "/root/repo/src/onrtc/onrtc.cpp" "src/onrtc/CMakeFiles/clue_onrtc.dir/onrtc.cpp.o" "gcc" "src/onrtc/CMakeFiles/clue_onrtc.dir/onrtc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trie/CMakeFiles/clue_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/clue_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

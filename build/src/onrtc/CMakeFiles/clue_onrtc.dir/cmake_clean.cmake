@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_onrtc.dir/baselines.cpp.o"
+  "CMakeFiles/clue_onrtc.dir/baselines.cpp.o.d"
+  "CMakeFiles/clue_onrtc.dir/compressed_fib.cpp.o"
+  "CMakeFiles/clue_onrtc.dir/compressed_fib.cpp.o.d"
+  "CMakeFiles/clue_onrtc.dir/onrtc.cpp.o"
+  "CMakeFiles/clue_onrtc.dir/onrtc.cpp.o.d"
+  "libclue_onrtc.a"
+  "libclue_onrtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_onrtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_partition.dir/partition.cpp.o"
+  "CMakeFiles/clue_partition.dir/partition.cpp.o.d"
+  "libclue_partition.a"
+  "libclue_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

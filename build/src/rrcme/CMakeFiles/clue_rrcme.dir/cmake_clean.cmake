@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_rrcme.dir/rrc_me.cpp.o"
+  "CMakeFiles/clue_rrcme.dir/rrc_me.cpp.o.d"
+  "libclue_rrcme.a"
+  "libclue_rrcme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_rrcme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

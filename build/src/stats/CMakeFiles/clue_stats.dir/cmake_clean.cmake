@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_stats.dir/stats.cpp.o"
+  "CMakeFiles/clue_stats.dir/stats.cpp.o.d"
+  "libclue_stats.a"
+  "libclue_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

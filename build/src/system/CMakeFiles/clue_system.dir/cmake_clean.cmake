@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_system.dir/clpl_system.cpp.o"
+  "CMakeFiles/clue_system.dir/clpl_system.cpp.o.d"
+  "CMakeFiles/clue_system.dir/clue_system.cpp.o"
+  "CMakeFiles/clue_system.dir/clue_system.cpp.o.d"
+  "libclue_system.a"
+  "libclue_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_tcam.dir/tcam_chip.cpp.o"
+  "CMakeFiles/clue_tcam.dir/tcam_chip.cpp.o.d"
+  "CMakeFiles/clue_tcam.dir/updater.cpp.o"
+  "CMakeFiles/clue_tcam.dir/updater.cpp.o.d"
+  "libclue_tcam.a"
+  "libclue_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclue_tcam.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/binary_trie.cpp" "src/trie/CMakeFiles/clue_trie.dir/binary_trie.cpp.o" "gcc" "src/trie/CMakeFiles/clue_trie.dir/binary_trie.cpp.o.d"
+  "/root/repo/src/trie/multibit_trie.cpp" "src/trie/CMakeFiles/clue_trie.dir/multibit_trie.cpp.o" "gcc" "src/trie/CMakeFiles/clue_trie.dir/multibit_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/clue_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_trie.dir/binary_trie.cpp.o"
+  "CMakeFiles/clue_trie.dir/binary_trie.cpp.o.d"
+  "CMakeFiles/clue_trie.dir/multibit_trie.cpp.o"
+  "CMakeFiles/clue_trie.dir/multibit_trie.cpp.o.d"
+  "libclue_trie.a"
+  "libclue_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

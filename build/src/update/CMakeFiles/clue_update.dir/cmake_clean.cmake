@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_update.dir/clpl_pipeline.cpp.o"
+  "CMakeFiles/clue_update.dir/clpl_pipeline.cpp.o.d"
+  "CMakeFiles/clue_update.dir/clue_pipeline.cpp.o"
+  "CMakeFiles/clue_update.dir/clue_pipeline.cpp.o.d"
+  "libclue_update.a"
+  "libclue_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

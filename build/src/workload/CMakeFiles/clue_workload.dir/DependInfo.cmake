@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/rib_gen.cpp" "src/workload/CMakeFiles/clue_workload.dir/rib_gen.cpp.o" "gcc" "src/workload/CMakeFiles/clue_workload.dir/rib_gen.cpp.o.d"
+  "/root/repo/src/workload/rib_io.cpp" "src/workload/CMakeFiles/clue_workload.dir/rib_io.cpp.o" "gcc" "src/workload/CMakeFiles/clue_workload.dir/rib_io.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/clue_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/clue_workload.dir/traffic_gen.cpp.o.d"
+  "/root/repo/src/workload/update_gen.cpp" "src/workload/CMakeFiles/clue_workload.dir/update_gen.cpp.o" "gcc" "src/workload/CMakeFiles/clue_workload.dir/update_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trie/CMakeFiles/clue_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/clue_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_workload.dir/rib_gen.cpp.o"
+  "CMakeFiles/clue_workload.dir/rib_gen.cpp.o.d"
+  "CMakeFiles/clue_workload.dir/rib_io.cpp.o"
+  "CMakeFiles/clue_workload.dir/rib_io.cpp.o.d"
+  "CMakeFiles/clue_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/clue_workload.dir/traffic_gen.cpp.o.d"
+  "CMakeFiles/clue_workload.dir/update_gen.cpp.o"
+  "CMakeFiles/clue_workload.dir/update_gen.cpp.o.d"
+  "libclue_workload.a"
+  "libclue_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

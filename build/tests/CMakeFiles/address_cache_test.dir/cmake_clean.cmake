@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_cache_test.dir/address_cache_test.cpp.o"
+  "CMakeFiles/address_cache_test.dir/address_cache_test.cpp.o.d"
+  "address_cache_test"
+  "address_cache_test.pdb"
+  "address_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_trie_test.dir/binary_trie_test.cpp.o"
+  "CMakeFiles/binary_trie_test.dir/binary_trie_test.cpp.o.d"
+  "binary_trie_test"
+  "binary_trie_test.pdb"
+  "binary_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

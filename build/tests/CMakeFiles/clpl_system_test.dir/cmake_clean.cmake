@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpl_system_test.dir/clpl_system_test.cpp.o"
+  "CMakeFiles/clpl_system_test.dir/clpl_system_test.cpp.o.d"
+  "clpl_system_test"
+  "clpl_system_test.pdb"
+  "clpl_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpl_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clue_system_test.dir/clue_system_test.cpp.o"
+  "CMakeFiles/clue_system_test.dir/clue_system_test.cpp.o.d"
+  "clue_system_test"
+  "clue_system_test.pdb"
+  "clue_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clue_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

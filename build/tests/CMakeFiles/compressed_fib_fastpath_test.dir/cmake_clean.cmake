@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_fib_fastpath_test.dir/compressed_fib_fastpath_test.cpp.o"
+  "CMakeFiles/compressed_fib_fastpath_test.dir/compressed_fib_fastpath_test.cpp.o.d"
+  "compressed_fib_fastpath_test"
+  "compressed_fib_fastpath_test.pdb"
+  "compressed_fib_fastpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_fib_fastpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compressed_fib_fastpath_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dred_test.dir/dred_test.cpp.o"
+  "CMakeFiles/dred_test.dir/dred_test.cpp.o.d"
+  "dred_test"
+  "dred_test.pdb"
+  "dred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

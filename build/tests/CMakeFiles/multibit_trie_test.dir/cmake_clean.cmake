@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibit_trie_test.dir/multibit_trie_test.cpp.o"
+  "CMakeFiles/multibit_trie_test.dir/multibit_trie_test.cpp.o.d"
+  "multibit_trie_test"
+  "multibit_trie_test.pdb"
+  "multibit_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibit_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

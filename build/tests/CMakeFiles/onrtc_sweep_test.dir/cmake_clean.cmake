@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onrtc_sweep_test.dir/onrtc_sweep_test.cpp.o"
+  "CMakeFiles/onrtc_sweep_test.dir/onrtc_sweep_test.cpp.o.d"
+  "onrtc_sweep_test"
+  "onrtc_sweep_test.pdb"
+  "onrtc_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onrtc_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

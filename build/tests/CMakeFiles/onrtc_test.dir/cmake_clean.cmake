@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onrtc_test.dir/onrtc_test.cpp.o"
+  "CMakeFiles/onrtc_test.dir/onrtc_test.cpp.o.d"
+  "onrtc_test"
+  "onrtc_test.pdb"
+  "onrtc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onrtc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_test.dir/prefix_test.cpp.o"
+  "CMakeFiles/prefix_test.dir/prefix_test.cpp.o.d"
+  "prefix_test"
+  "prefix_test.pdb"
+  "prefix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

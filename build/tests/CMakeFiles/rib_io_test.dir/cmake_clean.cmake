@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rib_io_test.dir/rib_io_test.cpp.o"
+  "CMakeFiles/rib_io_test.dir/rib_io_test.cpp.o.d"
+  "rib_io_test"
+  "rib_io_test.pdb"
+  "rib_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rib_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

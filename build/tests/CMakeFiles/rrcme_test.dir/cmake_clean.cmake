@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrcme_test.dir/rrcme_test.cpp.o"
+  "CMakeFiles/rrcme_test.dir/rrcme_test.cpp.o.d"
+  "rrcme_test"
+  "rrcme_test.pdb"
+  "rrcme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrcme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpl_test.dir/slpl_test.cpp.o"
+  "CMakeFiles/slpl_test.dir/slpl_test.cpp.o.d"
+  "slpl_test"
+  "slpl_test.pdb"
+  "slpl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

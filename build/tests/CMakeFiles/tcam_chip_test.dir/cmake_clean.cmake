@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcam_chip_test.dir/tcam_chip_test.cpp.o"
+  "CMakeFiles/tcam_chip_test.dir/tcam_chip_test.cpp.o.d"
+  "tcam_chip_test"
+  "tcam_chip_test.pdb"
+  "tcam_chip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcam_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcam_updater_test.dir/tcam_updater_test.cpp.o"
+  "CMakeFiles/tcam_updater_test.dir/tcam_updater_test.cpp.o.d"
+  "tcam_updater_test"
+  "tcam_updater_test.pdb"
+  "tcam_updater_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcam_updater_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

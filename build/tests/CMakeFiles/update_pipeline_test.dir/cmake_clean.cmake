@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_pipeline_test.dir/update_pipeline_test.cpp.o"
+  "CMakeFiles/update_pipeline_test.dir/update_pipeline_test.cpp.o.d"
+  "update_pipeline_test"
+  "update_pipeline_test.pdb"
+  "update_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

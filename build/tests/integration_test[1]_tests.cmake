@@ -1,0 +1,3 @@
+add_test([=[Integration.FullLifecycle]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=Integration.FullLifecycle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Integration.FullLifecycle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS Integration.FullLifecycle)
