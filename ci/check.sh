@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 suite in a plain build, then the same suite under
+# ASan+UBSan, then the concurrency tests (SPSC ring, epoch domain,
+# runtime stress) under TSan. Any data race, leak, UB, or test failure
+# fails the script.
+#
+#   $ ci/check.sh            # all three stages
+#   $ ci/check.sh plain      # just the plain tier-1 run
+#   $ ci/check.sh asan       # just ASan+UBSan
+#   $ ci/check.sh tsan       # just TSan concurrency stage
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+STAGE="${1:-all}"
+
+configure_and_build() {
+  local dir="$1" sanitize="$2"
+  cmake -B "$dir" -S . -DCLUE_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_plain() {
+  echo "=== stage: plain tier-1 ==="
+  configure_and_build build ""
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+run_asan() {
+  echo "=== stage: ASan+UBSan tier-1 ==="
+  configure_and_build build-asan address
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  echo "=== stage: TSan concurrency ==="
+  configure_and_build build-tsan thread
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure \
+      -R 'SpscRingTest|EpochTest|LookupRuntimeTest'
+}
+
+case "$STAGE" in
+  plain) run_plain ;;
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)
+    run_plain
+    run_asan
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [plain|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== all requested stages passed ==="

@@ -1,0 +1,26 @@
+#include "engine/dispatch_policy.hpp"
+
+namespace clue::engine {
+
+DispatchDecision choose_queue(std::size_t home,
+                              std::span<const std::size_t> occupancy,
+                              std::size_t fifo_depth) {
+  if (occupancy[home] < fifo_depth) {
+    return {DispatchDecision::Action::kHome, home};
+  }
+  std::size_t idlest = occupancy.size();
+  std::size_t best = ~std::size_t{0};
+  for (std::size_t i = 0; i < occupancy.size(); ++i) {
+    if (i == home) continue;
+    if (occupancy[i] < best) {
+      best = occupancy[i];
+      idlest = i;
+    }
+  }
+  if (idlest == occupancy.size() || best >= fifo_depth) {
+    return {DispatchDecision::Action::kReject, home};
+  }
+  return {DispatchDecision::Action::kDivert, idlest};
+}
+
+}  // namespace clue::engine

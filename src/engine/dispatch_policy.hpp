@@ -1,0 +1,41 @@
+// The §III-B dispatch rule and the §III-C DRed exclusion rule, shared
+// by the clock-stepped simulation (ParallelEngine) and the threaded
+// runtime (runtime::LookupRuntime) so both planes enforce one policy:
+//
+//   a) home queue has room              -> home chip, full lookup;
+//   b) home full, another queue has room -> idlest other chip,
+//                                          DRed-only lookup;
+//   c) every queue full                 -> reject (the simulation drops
+//                                          the packet, the runtime
+//                                          applies backpressure).
+//
+// The exclusion rule: DRed i never caches chip i's own prefixes — a
+// packet homed at chip i is never diverted to chip i, so the slot would
+// be dead capacity (the (N-1)/N saving of CLUE over CLPL).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace clue::engine {
+
+struct DispatchDecision {
+  enum class Action { kHome, kDivert, kReject };
+  Action action = Action::kReject;
+  std::size_t chip = 0;  ///< target queue for kHome / kDivert
+};
+
+/// `occupancy[i]` is queue i's current depth; `fifo_depth` the bound
+/// fresh admissions respect (miss returns may exceed it — that policy
+/// stays with the caller).
+DispatchDecision choose_queue(std::size_t home,
+                              std::span<const std::size_t> occupancy,
+                              std::size_t fifo_depth);
+
+/// True when `dred_chip`'s DRed is allowed to cache a prefix homed at
+/// `home_chip`.
+constexpr bool dred_may_cache(std::size_t dred_chip, std::size_t home_chip) {
+  return dred_chip != home_chip;
+}
+
+}  // namespace clue::engine

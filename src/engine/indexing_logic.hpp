@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "netbase/ipv4.hpp"
+#include "netbase/prefix.hpp"
 
 namespace clue::engine {
 
@@ -31,5 +33,17 @@ class IndexingLogic {
   std::vector<netbase::Ipv4Address> boundaries_;
   std::vector<std::size_t> bucket_to_tcam_;
 };
+
+/// Splits `prefix` at the range-partition `boundaries` (ascending,
+/// buckets-1 of them; boundaries[i] is the first address of bucket
+/// i+1) into per-bucket CIDR pieces. A region that lies inside one
+/// bucket comes back unchanged; a region spanning boundaries is cut at
+/// each one and re-decomposed into aligned blocks (netbase::cidr_cover)
+/// so every piece can live wholly on its bucket's chip. Shared by
+/// ClueSystem and runtime::LookupRuntime — the two state-accurate
+/// planes must split identically or their chips would disagree.
+std::vector<std::pair<std::size_t, netbase::Prefix>> split_at_boundaries(
+    const netbase::Prefix& prefix,
+    const std::vector<netbase::Ipv4Address>& boundaries);
 
 }  // namespace clue::engine

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "engine/dispatch_policy.hpp"
 #include "rrcme/rrc_me.hpp"
 
 namespace clue::engine {
@@ -78,27 +79,27 @@ void ParallelEngine::admit(Ipv4Address address, EngineMetrics& metrics) {
     chips_[best_chip].queue.push_back(Job{address, next_sequence_++, false});
     return;
   }
+  // The §III-B rule, shared with runtime::LookupRuntime via
+  // engine::choose_queue: home when it has room, else the idlest other
+  // queue for a DRed-only lookup, else reject (here: drop).
   const std::size_t home = indexing_.tcam_of(address);
-  if (chips_[home].queue.size() < config_.fifo_depth) {
-    chips_[home].queue.push_back(Job{address, next_sequence_++, false});
-    return;
-  }
-  // Home FIFO full: divert to the idlest other queue; the packet will be
-  // matched only against that chip's DRed.
-  std::size_t idlest = config_.tcam_count;
-  std::size_t best = ~std::size_t{0};
+  std::vector<std::size_t> occupancy(config_.tcam_count);
   for (std::size_t i = 0; i < config_.tcam_count; ++i) {
-    if (i == home) continue;
-    if (chips_[i].queue.size() < best) {
-      best = chips_[i].queue.size();
-      idlest = i;
-    }
+    occupancy[i] = chips_[i].queue.size();
   }
-  if (idlest == config_.tcam_count || best >= config_.fifo_depth) {
-    ++metrics.packets_dropped;  // no sequence consumed
-    return;
+  const auto decision = choose_queue(home, occupancy, config_.fifo_depth);
+  switch (decision.action) {
+    case DispatchDecision::Action::kHome:
+      chips_[home].queue.push_back(Job{address, next_sequence_++, false});
+      break;
+    case DispatchDecision::Action::kDivert:
+      chips_[decision.chip].queue.push_back(
+          Job{address, next_sequence_++, true});
+      break;
+    case DispatchDecision::Action::kReject:
+      ++metrics.packets_dropped;  // no sequence consumed
+      break;
   }
-  chips_[idlest].queue.push_back(Job{address, next_sequence_++, true});
 }
 
 void ParallelEngine::fill_dreds(std::size_t home_tcam, Ipv4Address address,
@@ -108,7 +109,7 @@ void ParallelEngine::fill_dreds(std::size_t home_tcam, Ipv4Address address,
     // §III-C: the disjoint LPM result is directly cacheable; push it to
     // every DRed except the home chip's own (which can never serve it).
     for (std::size_t i = 0; i < chips_.size(); ++i) {
-      if (i == home_tcam) continue;
+      if (!dred_may_cache(i, home_tcam)) continue;
       chips_[i].dred->insert(matched);
       ++metrics.dred_fills;
     }

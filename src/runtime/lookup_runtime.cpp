@@ -1,0 +1,447 @@
+#include "runtime/lookup_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "engine/dispatch_policy.hpp"
+#include "partition/partition.hpp"
+
+namespace clue::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
+                             const RuntimeConfig& config)
+    : config_(config),
+      fib_(fib),
+      epoch_(config.worker_count == 0 ? 1 : config.worker_count) {
+  if (config.worker_count == 0) {
+    throw std::invalid_argument("LookupRuntime: need at least one worker");
+  }
+  if (config.fifo_depth == 0) {
+    throw std::invalid_argument("LookupRuntime: fifo_depth must be positive");
+  }
+  dred_enabled_ = config.dred_capacity > 0 && config.worker_count > 1;
+
+  const auto table = fib_.compressed().routes();
+  const auto partitions =
+      partition::even_partition(table, config.worker_count);
+  boundaries_ =
+      partition::even_partition_boundaries(table, config.worker_count);
+  std::vector<std::size_t> identity(config.worker_count);
+  for (std::size_t i = 0; i < config.worker_count; ++i) identity[i] = i;
+  indexing_ =
+      std::make_unique<engine::IndexingLogic>(boundaries_, identity);
+
+  control_pushed_.assign(config.worker_count, 0);
+  workers_.reserve(config.worker_count);
+  for (std::size_t i = 0; i < config.worker_count; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->jobs = std::make_unique<SpscRing<Job>>(config.fifo_depth);
+    worker->completions =
+        std::make_unique<SpscRing<Completion>>(config.completion_depth);
+    worker->control =
+        std::make_unique<SpscRing<ControlMsg>>(config.control_depth);
+    if (dred_enabled_) {
+      worker->fills.resize(config.worker_count);
+      for (std::size_t peer = 0; peer < config.worker_count; ++peer) {
+        if (peer == i) continue;
+        worker->fills[peer] =
+            std::make_unique<SpscRing<FillMsg>>(config.fill_depth);
+      }
+      worker->dred =
+          std::make_unique<engine::DredStore>(config.dred_capacity);
+    }
+    auto* initial = new ChipTable{};
+    for (const auto& route : partitions.buckets[i].routes) {
+      initial->table.insert(route.prefix, route.next_hop);
+    }
+    worker->active.store(initial, std::memory_order_seq_cst);
+    workers_.push_back(std::move(worker));
+  }
+  for (std::size_t i = 0; i < config.worker_count; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+}
+
+LookupRuntime::~LookupRuntime() {
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& worker : workers_) {
+    delete worker->active.load(std::memory_order_relaxed);
+  }
+  // epoch_'s destructor frees any still-retired versions.
+}
+
+// ---------------------------------------------------------------- workers
+
+void LookupRuntime::worker_main(std::size_t w) {
+  Worker& me = *workers_[w];
+  std::optional<Completion> pending;
+  unsigned idle = 0;
+  for (;;) {
+    bool progress = drain_control(w);
+    if (dred_enabled_) progress |= drain_fills(w);
+    if (pending) {
+      if (me.completions->try_push(*pending)) {
+        pending.reset();
+        progress = true;
+      }
+    } else {
+      Job job;
+      if (me.jobs->try_pop(job)) {
+        const Completion done = process(w, job);
+        if (!me.completions->try_push(done)) pending = done;
+        progress = true;
+      }
+    }
+    if (progress) {
+      idle = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    ++idle;
+    if (idle < 64) {
+      cpu_relax();
+    } else if (idle < 256) {
+      std::this_thread::yield();
+    } else {
+      // Fully idle: back off so a single-core host can run the client.
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      idle = 256;
+    }
+  }
+}
+
+LookupRuntime::Completion LookupRuntime::process(std::size_t w,
+                                                 const Job& job) {
+  Worker& me = *workers_[w];
+  me.stats.jobs.fetch_add(1, std::memory_order_relaxed);
+  if (job.dred_only) {
+    me.stats.dred_lookups.fetch_add(1, std::memory_order_relaxed);
+    const auto hop = me.dred->lookup(job.address);
+    if (hop) {
+      me.stats.dred_hits.fetch_add(1, std::memory_order_relaxed);
+      return Completion{job.index, *hop, false};
+    }
+    // Miss: the client re-enqueues at the home chip (the runtime's
+    // version of the engine's beyond-FIFO-bound return acceptance).
+    me.stats.miss_returns.fetch_add(1, std::memory_order_relaxed);
+    return Completion{job.index, netbase::kNoRoute, true};
+  }
+  me.stats.home_lookups.fetch_add(1, std::memory_order_relaxed);
+  std::optional<Route> matched;
+  std::uint64_t version = 0;
+  {
+    // Snapshot discipline: pin the epoch, then load the pointer. The
+    // table stays alive until this guard's slot passes the retire epoch.
+    EpochDomain::Guard guard(epoch_, w);
+    const ChipTable* table = me.active.load(std::memory_order_seq_cst);
+    matched = table->table.lookup_route(job.address);
+    version = table->version;
+  }
+  if (!matched) return Completion{job.index, netbase::kNoRoute, false};
+  if (dred_enabled_) send_fills(w, *matched, version);
+  return Completion{job.index, matched->next_hop, false};
+}
+
+bool LookupRuntime::drain_control(std::size_t w) {
+  Worker& me = *workers_[w];
+  ControlMsg msg;
+  bool any = false;
+  while (me.control->try_pop(msg)) {
+    any = true;
+    if (me.dred) {
+      if (msg.kind == ControlMsg::Kind::kErase) {
+        me.dred->erase(msg.route.prefix);
+      } else if (me.dred->contains(msg.route.prefix)) {
+        me.dred->insert(msg.route);
+      }
+    }
+    me.control_applied.fetch_add(1, std::memory_order_release);
+  }
+  return any;
+}
+
+bool LookupRuntime::drain_fills(std::size_t w) {
+  Worker& me = *workers_[w];
+  bool any = false;
+  FillMsg msg;
+  for (std::size_t peer = 0; peer < workers_.size(); ++peer) {
+    if (peer == w) continue;
+    while (me.fills[peer]->try_pop(msg)) {
+      any = true;
+      // Staleness guard: if the home chip republished since this fill
+      // was produced, the route may no longer exist — drop rather than
+      // poison the cache (a fresh hit will re-fill).
+      const std::uint64_t current =
+          workers_[msg.home]->published_version.load(
+              std::memory_order_acquire);
+      if (msg.version < current) {
+        me.stats.fills_dropped_stale.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      me.dred->insert(msg.route);
+      me.stats.fills_applied.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return any;
+}
+
+void LookupRuntime::send_fills(std::size_t w, const Route& matched,
+                               std::uint64_t version) {
+  Worker& me = *workers_[w];
+  const FillMsg msg{matched, version, static_cast<std::uint32_t>(w)};
+  for (std::size_t peer = 0; peer < workers_.size(); ++peer) {
+    if (!engine::dred_may_cache(peer, w)) continue;  // exclusion rule
+    if (workers_[peer]->fills[w]->try_push(msg)) {
+      me.stats.fills_sent.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      me.stats.fills_dropped_full.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- client
+
+bool LookupRuntime::try_submit(Ipv4Address address, std::uint32_t index) {
+  const std::size_t home = indexing_->tcam_of(address);
+  if (workers_[home]->jobs->try_push(Job{address, index, false})) {
+    return true;
+  }
+  if (!dred_enabled_) return false;  // nowhere useful to divert
+  std::vector<std::size_t> occupancy(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    occupancy[i] = workers_[i]->jobs->size_approx();
+  }
+  const auto decision =
+      engine::choose_queue(home, occupancy, config_.fifo_depth);
+  switch (decision.action) {
+    case engine::DispatchDecision::Action::kHome:
+      // The home ring drained between our push and the scan; retry it.
+      return workers_[home]->jobs->try_push(Job{address, index, false});
+    case engine::DispatchDecision::Action::kDivert:
+      if (workers_[decision.chip]->jobs->try_push(
+              Job{address, index, true})) {
+        client_diverted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    case engine::DispatchDecision::Action::kReject:
+      return false;
+  }
+  return false;
+}
+
+std::vector<NextHop> LookupRuntime::lookup_batch(
+    std::span<const Ipv4Address> addresses,
+    std::vector<double>* latency_ns) {
+  std::vector<NextHop> results(addresses.size(), netbase::kNoRoute);
+  std::vector<Clock::time_point> submitted;
+  if (latency_ns) {
+    latency_ns->assign(addresses.size(), 0.0);
+    submitted.resize(addresses.size());
+  }
+  std::vector<Job> returns;  // DRed misses awaiting home-ring room
+  std::size_t next = 0;
+  std::size_t outstanding = 0;
+  unsigned idle = 0;
+  while (next < addresses.size() || outstanding > 0) {
+    bool progress = false;
+    // Returned misses first: they are the oldest jobs in flight.
+    for (std::size_t i = 0; i < returns.size();) {
+      const std::size_t home = indexing_->tcam_of(returns[i].address);
+      if (workers_[home]->jobs->try_push(returns[i])) {
+        returns[i] = returns.back();
+        returns.pop_back();
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    // Fresh submissions until backpressure.
+    while (next < addresses.size()) {
+      if (!try_submit(addresses[next], static_cast<std::uint32_t>(next))) {
+        client_backpressure_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (latency_ns) submitted[next] = Clock::now();
+      ++next;
+      ++outstanding;
+      progress = true;
+    }
+    // Completion drain + reorder stage: results land at their
+    // submission index regardless of which chip answered when.
+    Completion done;
+    for (auto& worker : workers_) {
+      while (worker->completions->try_pop(done)) {
+        progress = true;
+        if (done.miss_return) {
+          returns.push_back(Job{addresses[done.index], done.index, false});
+        } else {
+          results[done.index] = done.hop;
+          if (latency_ns) {
+            (*latency_ns)[done.index] = elapsed_ns(submitted[done.index]);
+          }
+          --outstanding;
+        }
+      }
+    }
+    if (progress) {
+      idle = 0;
+      continue;
+    }
+    if (++idle < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+      idle = 0;
+    }
+  }
+  client_completed_.fetch_add(addresses.size(), std::memory_order_relaxed);
+  return results;
+}
+
+NextHop LookupRuntime::lookup(Ipv4Address address) {
+  const Ipv4Address one[1] = {address};
+  return lookup_batch(std::span<const Ipv4Address>(one, 1)).front();
+}
+
+// ---------------------------------------------------------------- control
+
+update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
+  update::TtfSample sample;
+  const auto t0 = Clock::now();
+  const auto ops =
+      message.kind == workload::UpdateKind::kAnnounce
+          ? fib_.announce(message.prefix, message.next_hop)
+          : fib_.withdraw(message.prefix);
+  sample.ttf1_ns = elapsed_ns(t0);
+  if (ops.empty()) return sample;
+
+  updates_started_.fetch_add(1, std::memory_order_seq_cst);
+
+  // --- TTF2: shadow copy, piece ops, one pointer swap per chip. ------
+  const auto t1 = Clock::now();
+  std::vector<std::vector<std::pair<onrtc::FibOpKind, Route>>> per_chip(
+      workers_.size());
+  std::vector<ControlMsg> broadcast;
+  for (const auto& op : ops) {
+    for (const auto& [chip, piece] :
+         engine::split_at_boundaries(op.route.prefix, boundaries_)) {
+      per_chip[chip].emplace_back(op.kind,
+                                  Route{piece, op.route.next_hop});
+      // DRed synchronisation (§IV-C): deletes and modifies broadcast to
+      // every DRed; inserts need nothing.
+      if (op.kind != onrtc::FibOpKind::kInsert) {
+        broadcast.push_back(
+            ControlMsg{op.kind == onrtc::FibOpKind::kDelete
+                           ? ControlMsg::Kind::kErase
+                           : ControlMsg::Kind::kFix,
+                       Route{piece, op.route.next_hop}});
+      }
+    }
+  }
+  for (std::size_t chip = 0; chip < workers_.size(); ++chip) {
+    if (per_chip[chip].empty()) continue;
+    Worker& worker = *workers_[chip];
+    // The control thread is the only writer, so reading the active
+    // version without a guard is safe; workers only ever read it.
+    ChipTable* old = worker.active.load(std::memory_order_relaxed);
+    auto* next = new ChipTable{old->table, old->version + 1};
+    for (const auto& [kind, route] : per_chip[chip]) {
+      if (kind == onrtc::FibOpKind::kDelete) {
+        next->table.erase(route.prefix);
+      } else {
+        next->table.insert(route.prefix, route.next_hop);
+      }
+    }
+    worker.active.store(next, std::memory_order_seq_cst);
+    worker.published_version.store(next->version,
+                                   std::memory_order_seq_cst);
+    epoch_.retire(old);
+    tables_published_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sample.ttf2_ns = elapsed_ns(t1);
+
+  // --- TTF3: DRed erase/fix broadcast, wait for worker acks. ---------
+  const auto t2 = Clock::now();
+  if (dred_enabled_ && !broadcast.empty()) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& worker = *workers_[i];
+      for (const auto& msg : broadcast) {
+        while (!worker.control->try_push(msg)) std::this_thread::yield();
+        ++control_pushed_[i];
+      }
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& worker = *workers_[i];
+      unsigned spins = 0;
+      while (worker.control_applied.load(std::memory_order_acquire) <
+             control_pushed_[i]) {
+        if (++spins < 64) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+  sample.ttf3_ns = elapsed_ns(t2);
+
+  updates_completed_.fetch_add(1, std::memory_order_seq_cst);
+  epoch_.reclaim();
+  return sample;
+}
+
+// ---------------------------------------------------------------- metrics
+
+RuntimeMetrics LookupRuntime::metrics() const {
+  RuntimeMetrics m;
+  m.per_worker_jobs.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    const WorkerStats& s = worker->stats;
+    m.per_worker_jobs.push_back(s.jobs.load(std::memory_order_relaxed));
+    m.home_lookups += s.home_lookups.load(std::memory_order_relaxed);
+    m.dred_lookups += s.dred_lookups.load(std::memory_order_relaxed);
+    m.dred_hits += s.dred_hits.load(std::memory_order_relaxed);
+    m.miss_returns += s.miss_returns.load(std::memory_order_relaxed);
+    m.fills_sent += s.fills_sent.load(std::memory_order_relaxed);
+    m.fills_applied += s.fills_applied.load(std::memory_order_relaxed);
+    m.fills_dropped_full +=
+        s.fills_dropped_full.load(std::memory_order_relaxed);
+    m.fills_dropped_stale +=
+        s.fills_dropped_stale.load(std::memory_order_relaxed);
+  }
+  m.lookups_completed = client_completed_.load(std::memory_order_relaxed);
+  m.diverted = client_diverted_.load(std::memory_order_relaxed);
+  m.backpressure_waits =
+      client_backpressure_.load(std::memory_order_relaxed);
+  m.updates_applied = updates_completed_.load(std::memory_order_relaxed);
+  m.tables_published = tables_published_.load(std::memory_order_relaxed);
+  m.tables_reclaimed = epoch_.reclaimed();
+  m.tables_pending = epoch_.pending();
+  return m;
+}
+
+}  // namespace clue::runtime

@@ -1,0 +1,235 @@
+// LookupRuntime — the concurrent data-plane runtime.
+//
+// Where engine::ParallelEngine *simulates* the paper's Fig. 1 with a
+// clock loop, this subsystem *runs* it: one OS thread per TCAM chip,
+// each fed through a bounded lock-free SPSC ring (the home FIFO made
+// real), with the §III-B dispatch rule applied by the submitting client
+// and BGP updates landing concurrently with lookups.
+//
+// Thread roles (externally, at most one thread per role at a time; the
+// client and control roles may be different threads running
+// concurrently):
+//
+//   client thread   lookup_batch() — dispatches jobs to the per-chip
+//                   job rings (home first; home full -> idlest other
+//                   chip for a DRed-only lookup), drains completion
+//                   rings, re-enqueues DRed misses to the home ring,
+//                   and reorders results back into submission order.
+//   control thread  apply() — runs the ONRTC diff, builds a shadow
+//                   copy of each affected chip's table, publishes it
+//                   with one atomic pointer swap, broadcasts DRed
+//                   erase/fix messages, and waits for the workers to
+//                   ack them (so TTF2/TTF3 are measured end to end).
+//   chip workers    pop jobs, look up against the current table
+//                   snapshot under an epoch guard, serve DRed-only
+//                   lookups from their private DRed, exchange DRed
+//                   fills over per-pair SPSC rings.
+//
+// Snapshot/epoch invariant: a worker never dereferences a chip table
+// without pinning its epoch slot first, and the control plane never
+// frees a retired table until every slot has passed the retire epoch —
+// lookups never block on updates, updates never corrupt lookups.
+//
+// All cross-thread rings are strictly single-producer single-consumer:
+//   client  -> worker i   job ring
+//   worker i-> client     completion ring
+//   control -> worker i   control ring (DRed erase/fix)
+//   worker i-> worker j   fill ring (DRed cache fills, i != j)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/dred.hpp"
+#include "engine/indexing_logic.hpp"
+#include "onrtc/compressed_fib.hpp"
+#include "runtime/epoch.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "trie/binary_trie.hpp"
+#include "update/cost_model.hpp"
+#include "workload/update_gen.hpp"
+
+namespace clue::runtime {
+
+using netbase::Ipv4Address;
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+
+struct RuntimeConfig {
+  std::size_t worker_count = 4;    ///< one thread per simulated chip
+  std::size_t fifo_depth = 256;    ///< per-chip job ring (the home FIFO)
+  std::size_t dred_capacity = 1024;  ///< per chip; 0 disables DRed+diversion
+  std::size_t completion_depth = 1024;
+  std::size_t control_depth = 4096;
+  std::size_t fill_depth = 256;
+};
+
+/// Aggregated counters; a consistent-enough snapshot (relaxed reads).
+struct RuntimeMetrics {
+  std::uint64_t lookups_completed = 0;
+  std::uint64_t home_lookups = 0;
+  std::uint64_t dred_lookups = 0;
+  std::uint64_t dred_hits = 0;
+  std::uint64_t miss_returns = 0;  ///< DRed misses re-enqueued home
+  std::uint64_t diverted = 0;      ///< jobs sent to a non-home chip
+  std::uint64_t backpressure_waits = 0;  ///< all queues full -> client spun
+  std::uint64_t fills_sent = 0;
+  std::uint64_t fills_applied = 0;
+  std::uint64_t fills_dropped_full = 0;   ///< fill ring full (best effort)
+  std::uint64_t fills_dropped_stale = 0;  ///< home table moved on: discarded
+  std::uint64_t updates_applied = 0;
+  std::uint64_t tables_published = 0;
+  std::uint64_t tables_reclaimed = 0;
+  std::uint64_t tables_pending = 0;  ///< retired, not yet reclaimed
+  std::vector<std::uint64_t> per_worker_jobs;
+
+  double dred_hit_rate() const {
+    return dred_lookups ? static_cast<double>(dred_hits) /
+                              static_cast<double>(dred_lookups)
+                        : 0.0;
+  }
+};
+
+class LookupRuntime {
+ public:
+  /// Compresses `fib` (ONRTC), splits it into `worker_count` even range
+  /// partitions, and starts the worker threads.
+  LookupRuntime(const trie::BinaryTrie& fib, const RuntimeConfig& config);
+  ~LookupRuntime();
+
+  LookupRuntime(const LookupRuntime&) = delete;
+  LookupRuntime& operator=(const LookupRuntime&) = delete;
+
+  /// Client role. Dispatches every address, waits for all completions,
+  /// and returns next hops in submission order (the reorder stage).
+  /// When `latency_ns` is non-null it is filled with one per-address
+  /// submit-to-completion latency sample.
+  std::vector<NextHop> lookup_batch(std::span<const Ipv4Address> addresses,
+                                    std::vector<double>* latency_ns = nullptr);
+
+  /// Convenience single lookup (a batch of one).
+  NextHop lookup(Ipv4Address address);
+
+  /// Control role. Applies one BGP update end to end: ONRTC diff
+  /// (TTF1), shadow-copy + atomic publish of affected chip tables
+  /// (TTF2), DRed erase/fix broadcast + worker ack (TTF3). Returns wall
+  /// -clock nanoseconds per stage; lookups proceed concurrently.
+  update::TtfSample apply(const workload::UpdateMsg& message);
+
+  /// Frees retired table versions all workers have quiesced past.
+  std::size_t reclaim() { return epoch_.reclaim(); }
+
+  /// Updates fully visible to the data plane (tables published AND
+  /// DReds synced). Monotonic; bumped at the end of apply().
+  std::uint64_t updates_completed() const {
+    return updates_completed_.load(std::memory_order_seq_cst);
+  }
+  /// Updates whose publication has begun. Any lookup answer ever
+  /// produced reflects a table state in [updates_completed() sampled
+  /// before submit, updates_started() sampled after completion].
+  std::uint64_t updates_started() const {
+    return updates_started_.load(std::memory_order_seq_cst);
+  }
+
+  const onrtc::CompressedFib& fib() const { return fib_; }
+  const engine::IndexingLogic& indexing() const { return *indexing_; }
+  /// Range-partition boundaries (ascending, worker_count-1 of them).
+  const std::vector<Ipv4Address>& boundaries() const { return boundaries_; }
+  std::size_t worker_count() const { return workers_.size(); }
+  const RuntimeConfig& config() const { return config_; }
+
+  RuntimeMetrics metrics() const;
+
+ private:
+  struct Job {
+    Ipv4Address address{0};
+    std::uint32_t index = 0;
+    bool dred_only = false;
+  };
+  struct Completion {
+    std::uint32_t index = 0;
+    NextHop hop = netbase::kNoRoute;
+    bool miss_return = false;
+  };
+  struct ControlMsg {
+    enum class Kind : std::uint8_t { kErase, kFix };
+    Kind kind = Kind::kErase;
+    Route route;
+  };
+  struct FillMsg {
+    Route route;
+    std::uint64_t version = 0;
+    std::uint32_t home = 0;
+  };
+
+  /// One immutable published FIB version for one chip.
+  struct ChipTable {
+    trie::BinaryTrie table;
+    std::uint64_t version = 0;
+  };
+
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> jobs{0};
+    std::atomic<std::uint64_t> home_lookups{0};
+    std::atomic<std::uint64_t> dred_lookups{0};
+    std::atomic<std::uint64_t> dred_hits{0};
+    std::atomic<std::uint64_t> miss_returns{0};
+    std::atomic<std::uint64_t> fills_sent{0};
+    std::atomic<std::uint64_t> fills_applied{0};
+    std::atomic<std::uint64_t> fills_dropped_full{0};
+    std::atomic<std::uint64_t> fills_dropped_stale{0};
+  };
+
+  struct Worker {
+    std::unique_ptr<SpscRing<Job>> jobs;
+    std::unique_ptr<SpscRing<Completion>> completions;
+    std::unique_ptr<SpscRing<ControlMsg>> control;
+    /// fills[i]: ring produced by worker i, consumed by this worker.
+    std::vector<std::unique_ptr<SpscRing<FillMsg>>> fills;
+    std::atomic<ChipTable*> active{nullptr};
+    std::atomic<std::uint64_t> published_version{0};
+    std::atomic<std::uint64_t> control_applied{0};
+    std::unique_ptr<engine::DredStore> dred;
+    WorkerStats stats;
+    std::thread thread;
+  };
+
+  void worker_main(std::size_t w);
+  Completion process(std::size_t w, const Job& job);
+  bool drain_control(std::size_t w);
+  bool drain_fills(std::size_t w);
+  void send_fills(std::size_t w, const Route& matched, std::uint64_t version);
+
+  /// Client-side dispatch of one fresh address; false = all queues full.
+  bool try_submit(Ipv4Address address, std::uint32_t index);
+
+  RuntimeConfig config_;
+  onrtc::CompressedFib fib_;
+  std::vector<Ipv4Address> boundaries_;
+  std::unique_ptr<engine::IndexingLogic> indexing_;
+  EpochDomain epoch_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  bool dred_enabled_ = false;
+
+  std::atomic<std::uint64_t> updates_started_{0};
+  std::atomic<std::uint64_t> updates_completed_{0};
+
+  // Control-thread-private bookkeeping (how many control messages have
+  // been pushed to each worker, to wait for acks).
+  std::vector<std::uint64_t> control_pushed_;
+  std::atomic<std::uint64_t> tables_published_{0};
+
+  // Client-thread counters (atomic only so metrics() can read them).
+  std::atomic<std::uint64_t> client_completed_{0};
+  std::atomic<std::uint64_t> client_diverted_{0};
+  std::atomic<std::uint64_t> client_backpressure_{0};
+};
+
+}  // namespace clue::runtime

@@ -53,24 +53,9 @@ std::size_t ClueSystem::chip_of(Ipv4Address address) const {
 
 std::vector<std::pair<std::size_t, Prefix>> ClueSystem::pieces_of(
     const Prefix& prefix) const {
-  const std::size_t first = chip_of(prefix.range_low());
-  const std::size_t last = chip_of(prefix.range_high());
-  if (first == last) return {{first, prefix}};
-  // The region spans partition boundaries: cut it at each boundary and
-  // re-decompose every slice into aligned blocks.
-  std::vector<std::pair<std::size_t, Prefix>> pieces;
-  Ipv4Address low = prefix.range_low();
-  for (std::size_t chip = first; chip <= last; ++chip) {
-    const Ipv4Address high =
-        chip == last ? prefix.range_high()
-                     : Ipv4Address(boundaries_[chip].value() - 1);
-    if (low > high) continue;  // empty slice (boundary coincidence)
-    for (const auto& piece : netbase::cidr_cover(low, high)) {
-      pieces.emplace_back(chip, piece);
-    }
-    if (chip != last) low = boundaries_[chip];
-  }
-  return pieces;
+  // Chips are the identity mapping of range buckets, so the shared
+  // boundary splitter's bucket indices are chip indices.
+  return engine::split_at_boundaries(prefix, boundaries_);
 }
 
 NextHop ClueSystem::lookup(Ipv4Address address) {
@@ -125,6 +110,13 @@ update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
   sample.ttf3_ns =
       static_cast<double>(dred_ops) * update::CostModel::kTcamOpNs;
   return sample;
+}
+
+std::unique_ptr<runtime::LookupRuntime> ClueSystem::runtime(
+    runtime::RuntimeConfig config) const {
+  if (config.worker_count == 0) config.worker_count = chips_.size();
+  return std::make_unique<runtime::LookupRuntime>(fib_.ground_truth(),
+                                                  config);
 }
 
 engine::EngineSetup ClueSystem::engine_setup() const {

@@ -25,6 +25,7 @@
 #include "engine/indexing_logic.hpp"
 #include "engine/parallel_engine.hpp"
 #include "onrtc/compressed_fib.hpp"
+#include "runtime/lookup_runtime.hpp"
 #include "tcam/updater.hpp"
 #include "update/cost_model.hpp"
 #include "workload/update_gen.hpp"
@@ -58,6 +59,15 @@ class ClueSystem {
   /// Builds an engine setup snapshot of the current chip contents, for
   /// throughput experiments against the live table.
   engine::EngineSetup engine_setup() const;
+
+  /// Spawns a concurrent data-plane runtime over this system's current
+  /// ground truth: one worker thread per chip, lock-free home FIFOs,
+  /// RCU-style snapshot updates. `config.worker_count == 0` means
+  /// "match this system's chip count". The runtime owns its own
+  /// control plane from the moment of creation; updates applied to it
+  /// do not feed back into this (serial) system.
+  std::unique_ptr<runtime::LookupRuntime> runtime(
+      runtime::RuntimeConfig config = {}) const;
 
   const onrtc::CompressedFib& fib() const { return fib_; }
   const tcam::TcamChip& chip(std::size_t i) const {

@@ -1,0 +1,268 @@
+// LookupRuntime end-to-end correctness: batched lookups against the
+// reference BinaryTrie, diversion under skew, 10k interleaved updates
+// with exact answers, a concurrent update+lookup hammer with a
+// version-window oracle, and epoch-reclamation accounting.
+#include "runtime/lookup_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "system/clue_system.hpp"
+#include "workload/rib_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace {
+
+using clue::netbase::Ipv4Address;
+using clue::netbase::NextHop;
+using clue::netbase::Pcg32;
+using clue::runtime::LookupRuntime;
+using clue::runtime::RuntimeConfig;
+
+clue::trie::BinaryTrie make_fib(std::size_t routes, std::uint64_t seed) {
+  clue::workload::RibConfig config;
+  config.table_size = routes;
+  config.seed = seed;
+  return clue::workload::generate_rib(config);
+}
+
+std::vector<Ipv4Address> random_addresses(std::size_t count,
+                                          std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Ipv4Address> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.emplace_back(rng.next());
+  return out;
+}
+
+TEST(LookupRuntimeTest, BatchLookupsMatchReferenceTrie) {
+  const auto fib = make_fib(20'000, 101);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  LookupRuntime runtime(fib, config);
+
+  const auto addresses = random_addresses(20'000, 202);
+  for (std::size_t at = 0; at < addresses.size(); at += 1024) {
+    const std::size_t n = std::min<std::size_t>(1024, addresses.size() - at);
+    const std::span<const Ipv4Address> batch(addresses.data() + at, n);
+    const auto hops = runtime.lookup_batch(batch);
+    ASSERT_EQ(hops.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hops[i], fib.lookup(batch[i]))
+          << "address " << batch[i].to_string();
+    }
+  }
+  const auto m = runtime.metrics();
+  EXPECT_EQ(m.lookups_completed, addresses.size());
+}
+
+TEST(LookupRuntimeTest, SingleWorkerStillAnswersCorrectly) {
+  const auto fib = make_fib(5'000, 303);
+  RuntimeConfig config;
+  config.worker_count = 1;
+  config.fifo_depth = 32;
+  LookupRuntime runtime(fib, config);
+
+  const auto addresses = random_addresses(5'000, 404);
+  const auto hops = runtime.lookup_batch(addresses);
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    ASSERT_EQ(hops[i], fib.lookup(addresses[i]));
+  }
+}
+
+TEST(LookupRuntimeTest, SkewedTrafficDivertsAndStaysCorrect) {
+  const auto fib = make_fib(20'000, 505);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  config.fifo_depth = 16;  // small FIFOs so the home queue overflows
+  LookupRuntime runtime(fib, config);
+  ASSERT_FALSE(runtime.boundaries().empty());
+
+  // Every address below the first boundary homes at chip 0: the hot
+  // chip saturates and the §III-B rule must divert to peer DReds.
+  const std::uint32_t bound = runtime.boundaries().front().value();
+  Pcg32 rng(606);
+  std::vector<Ipv4Address> addresses;
+  addresses.reserve(30'000);
+  for (std::size_t i = 0; i < 30'000; ++i) {
+    addresses.emplace_back(rng.next_below(bound));
+  }
+  for (std::size_t at = 0; at < addresses.size(); at += 2048) {
+    const std::size_t n = std::min<std::size_t>(2048, addresses.size() - at);
+    const std::span<const Ipv4Address> batch(addresses.data() + at, n);
+    const auto hops = runtime.lookup_batch(batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hops[i], fib.lookup(batch[i]));
+    }
+  }
+  const auto m = runtime.metrics();
+  EXPECT_GT(m.diverted, 0u) << "hot chip never overflowed its FIFO";
+  EXPECT_GT(m.dred_lookups, 0u);
+  // Diverted jobs either hit a DRed or returned home; conservation:
+  EXPECT_EQ(m.dred_hits + m.miss_returns, m.dred_lookups);
+}
+
+// Satellite requirement: answers match the reference trie across 10k
+// interleaved updates. apply() waits for table publication AND DRed
+// sync, so between calls the data plane is exactly the control plane.
+TEST(LookupRuntimeTest, TenThousandInterleavedUpdatesStayExact) {
+  const auto fib = make_fib(10'000, 707);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  LookupRuntime runtime(fib, config);
+
+  clue::workload::UpdateConfig update_config;
+  update_config.seed = 808;
+  clue::workload::UpdateGenerator updates(fib, update_config);
+
+  Pcg32 rng(909);
+  constexpr std::size_t kUpdates = 10'000;
+  for (std::size_t u = 0; u < kUpdates; ++u) {
+    runtime.apply(updates.next());
+    if (u % 8 == 0) {
+      std::vector<Ipv4Address> batch;
+      batch.reserve(32);
+      for (int i = 0; i < 32; ++i) batch.emplace_back(rng.next());
+      const auto hops = runtime.lookup_batch(batch);
+      const auto& truth = runtime.fib().ground_truth();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(hops[i], truth.lookup(batch[i]))
+            << "update " << u << " address " << batch[i].to_string();
+      }
+    }
+  }
+  // Final sweep.
+  const auto addresses = random_addresses(20'000, 1010);
+  const auto hops = runtime.lookup_batch(addresses);
+  const auto& truth = runtime.fib().ground_truth();
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    ASSERT_EQ(hops[i], truth.lookup(addresses[i]));
+  }
+
+  // Epoch accounting: with the data plane quiescent, every retired
+  // table version must be reclaimable, and none twice.
+  runtime.reclaim();
+  const auto m = runtime.metrics();
+  EXPECT_GT(m.tables_published, 0u);
+  EXPECT_EQ(m.tables_pending, 0u);
+  EXPECT_EQ(m.tables_reclaimed, m.tables_published);
+}
+
+// The tentpole stress: updates land from a control thread while the
+// client hammers lookups. Any answer must match the ground truth of
+// *some* update version the data plane could have exposed during the
+// batch: [updates_completed() before submit, updates_started() after
+// completion].
+TEST(LookupRuntimeTest, ConcurrentUpdatesAndLookupsWindowedOracle) {
+  const auto fib = make_fib(8'000, 1111);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  LookupRuntime runtime(fib, config);
+
+  constexpr std::size_t kUpdates = 600;
+  constexpr std::size_t kPool = 2048;
+  const auto pool = random_addresses(kPool, 1212);
+
+  // oracles[v][i]: ground-truth answer for pool[i] after v visible
+  // updates (v counts non-absorbed updates, matching the runtime's
+  // updates_completed counter).
+  std::vector<std::vector<NextHop>> oracles(kUpdates + 1);
+  auto snapshot_answers = [&pool](const clue::trie::BinaryTrie& t) {
+    std::vector<NextHop> answers;
+    answers.reserve(pool.size());
+    for (const auto address : pool) answers.push_back(t.lookup(address));
+    return answers;
+  };
+  oracles[0] = snapshot_answers(fib);
+
+  std::atomic<bool> done{false};
+  std::thread control([&] {
+    clue::workload::UpdateConfig update_config;
+    update_config.seed = 1313;
+    clue::workload::UpdateGenerator updates(fib, update_config);
+    std::uint64_t recorded = 0;
+    while (recorded < kUpdates) {
+      runtime.apply(updates.next());
+      const std::uint64_t completed = runtime.updates_completed();
+      // Absorbed updates (empty diff) do not advance the counter; the
+      // data plane — and therefore the oracle — is unchanged.
+      if (completed > recorded) {
+        recorded = completed;
+        oracles[recorded] = snapshot_answers(runtime.fib().ground_truth());
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  struct BatchLog {
+    std::uint64_t g0;
+    std::uint64_t g1;
+    std::vector<std::uint32_t> picks;
+    std::vector<NextHop> hops;
+  };
+  std::vector<BatchLog> log;
+  Pcg32 rng(1414);
+  while (!done.load(std::memory_order_acquire) && log.size() < 1500) {
+    BatchLog entry;
+    entry.picks.reserve(256);
+    std::vector<Ipv4Address> batch;
+    batch.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      const std::uint32_t pick = rng.next_below(kPool);
+      entry.picks.push_back(pick);
+      batch.push_back(pool[pick]);
+    }
+    entry.g0 = runtime.updates_completed();
+    entry.hops = runtime.lookup_batch(batch);
+    entry.g1 = runtime.updates_started();
+    log.push_back(std::move(entry));
+  }
+  control.join();
+
+  ASSERT_FALSE(log.empty());
+  std::size_t checked = 0;
+  for (const auto& entry : log) {
+    ASSERT_LE(entry.g1, kUpdates);
+    for (std::size_t i = 0; i < entry.picks.size(); ++i) {
+      bool matched = false;
+      for (std::uint64_t v = entry.g0; v <= entry.g1 && !matched; ++v) {
+        matched = oracles[v][entry.picks[i]] == entry.hops[i];
+      }
+      EXPECT_TRUE(matched)
+          << "address " << pool[entry.picks[i]].to_string()
+          << " answered outside update window [" << entry.g0 << ", "
+          << entry.g1 << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Quiesce, then every retired version must be reclaimable.
+  runtime.reclaim();
+  const auto m = runtime.metrics();
+  EXPECT_EQ(m.tables_pending, 0u);
+  EXPECT_EQ(m.tables_reclaimed, m.tables_published);
+}
+
+TEST(LookupRuntimeTest, ClueSystemRuntimeEntryPointAgrees) {
+  const auto fib = make_fib(10'000, 1515);
+  clue::system::SystemConfig system_config;
+  clue::system::ClueSystem system(fib, system_config);
+  const auto runtime = system.runtime();
+  ASSERT_EQ(runtime->worker_count(), system.tcam_count());
+
+  Pcg32 rng(1616);
+  std::vector<Ipv4Address> batch;
+  for (int i = 0; i < 4096; ++i) batch.emplace_back(rng.next());
+  const auto hops = runtime->lookup_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(hops[i], system.lookup(batch[i]));
+  }
+}
+
+}  // namespace

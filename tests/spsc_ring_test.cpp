@@ -1,0 +1,109 @@
+// SpscRing in isolation: ordering, full/empty boundaries, wraparound,
+// and a two-thread torture run with a seeded Pcg32 workload.
+#include "runtime/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "netbase/rng.hpp"
+
+namespace {
+
+using clue::netbase::Pcg32;
+using clue::runtime::SpscRing;
+
+TEST(SpscRingTest, PushPopPreservesFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(256).capacity(), 256u);
+  EXPECT_EQ(SpscRing<int>(257).capacity(), 512u);
+}
+
+TEST(SpscRingTest, FullRingRejectsPushUntilPopped) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.size_approx(), 4u);
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(4));
+  EXPECT_FALSE(ring.try_push(5));
+}
+
+TEST(SpscRingTest, EmptyRingRejectsPop) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(7));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(SpscRingTest, WrapAroundKeepsOrderAcrossManyCycles) {
+  SpscRing<std::uint32_t> ring(4);
+  std::uint32_t expected = 0;
+  std::uint32_t produced = 0;
+  // Alternate bursts so the cursors wrap the 4-slot buffer often.
+  for (int round = 0; round < 1000; ++round) {
+    const unsigned burst = 1 + (round % 4);
+    for (unsigned i = 0; i < burst; ++i) {
+      if (ring.try_push(produced)) ++produced;
+    }
+    std::uint32_t out = 0;
+    while (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, produced);
+  EXPECT_GT(produced, 1000u);
+}
+
+TEST(SpscRingTest, TwoThreadTortureSeededWorkload) {
+  constexpr std::uint64_t kSeed = 0xC10EULL;
+  constexpr std::size_t kCount = 200'000;
+  SpscRing<std::uint32_t> ring(64);
+
+  std::thread producer([&ring] {
+    Pcg32 values(kSeed);
+    Pcg32 jitter(kSeed + 1);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      const std::uint32_t value = values.next();
+      while (!ring.try_push(value)) std::this_thread::yield();
+      // Irregular pacing so both full and empty boundaries get hit.
+      if (jitter.chance(0.01)) std::this_thread::yield();
+    }
+  });
+
+  Pcg32 expected(kSeed);
+  Pcg32 jitter(kSeed + 2);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    std::uint32_t out = 0;
+    while (!ring.try_pop(out)) std::this_thread::yield();
+    ASSERT_EQ(out, expected.next()) << "at element " << i;
+    if (jitter.chance(0.01)) std::this_thread::yield();
+  }
+  producer.join();
+  std::uint32_t leftover = 0;
+  EXPECT_FALSE(ring.try_pop(leftover));
+}
+
+}  // namespace
