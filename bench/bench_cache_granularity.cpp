@@ -12,6 +12,7 @@
 
 #include "engine/address_cache.hpp"
 #include "engine/dred.hpp"
+#include "metrics_out.hpp"
 #include "onrtc/onrtc.hpp"
 #include "rrcme/rrc_me.hpp"
 #include "stats/stats.hpp"
@@ -67,6 +68,7 @@ int main() {
                  percent(regions.stats().hit_rate())});
   }
   out.print(std::cout);
+  clue::bench::export_table("cache_granularity", out);
   std::cout << "\nExpected shape: region >= rrc-me >> address at every\n"
                "capacity — each coarser entry covers more addresses, which\n"
                "is why CLPL caches prefixes and CLUE's regions do even\n"

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "metrics_out.hpp"
 #include "onrtc/baselines.hpp"
 #include "onrtc/onrtc.hpp"
 #include "stats/stats.hpp"
@@ -63,5 +64,12 @@ int main() {
   std::cout << "\nOrdering must hold: ortc <= onrtc <= original <= "
                "leaf-push.\nONRTC pays a modest premium over ORTC to make "
                "the table TCAM-order-free.\n";
+
+  clue::obs::MetricsRegistry registry;
+  clue::bench::add_table(registry, "compression", table);
+  clue::bench::add_table(registry, "compression_baselines", baselines);
+  registry.set_gauge("compression.mean_ratio", ratios.mean());
+  registry.set_gauge("compression.mean_time_ms", times.mean());
+  clue::bench::export_run("compression", registry);
   return 0;
 }

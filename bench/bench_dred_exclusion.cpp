@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -70,6 +71,7 @@ int main() {
                  percent(hit_rate(false, size))});
   }
   out.print(std::cout);
+  clue::bench::export_table("dred_exclusion", out);
   std::cout << "\nExpected shape: the exclusive column dominates — fills\n"
                "that could never be hit no longer evict useful entries.\n";
   return 0;

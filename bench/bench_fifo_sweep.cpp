@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -51,6 +52,7 @@ int main() {
                  fixed(metrics.reorder_mean_hold_clocks, 1)});
   }
   out.print(std::cout);
+  clue::bench::export_table("fifo_sweep", out);
   std::cout << "\nExpected shape: throughput is insensitive once the FIFO\n"
                "covers a few service times; reorder-buffer pressure grows\n"
                "with depth (longer home queues let diverted packets overtake\n"

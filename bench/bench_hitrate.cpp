@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "csv_out.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -64,10 +64,12 @@ int main() {
                         fixed(speed[1], 5)});
   }
   out.print(std::cout);
-  clue::bench::maybe_write_csv(
+  clue::obs::MetricsRegistry registry;
+  registry.add_table(
       "fig17_hitrate",
       {"dred_size", "clue_hit", "clpl_hit", "clue_speedup", "clpl_speedup"},
       csv_rows);
+  clue::bench::export_run("hitrate", registry);
   std::cout << "\nExpected shape: CLUE's hit-rate curve dominates CLPL's at\n"
                "every size (paper Fig. 17), hence the same speedup with a\n"
                "smaller DRed (the 3/4-redundancy claim).\n";

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -57,6 +58,7 @@ int main() {
                          static_cast<double>(total_lookups))});
   }
   out.print(std::cout);
+  clue::bench::export_table("loadbalance", out);
   std::cout << "\nThroughput: " << metrics.packets_completed << "/"
             << metrics.packets_offered << " packets completed, speedup "
             << clue::stats::fixed(metrics.speedup(config.service_clocks), 2)

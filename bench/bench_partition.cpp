@@ -7,6 +7,7 @@
 // count is the smallest because the table itself is compressed first.
 #include <iostream>
 
+#include "metrics_out.hpp"
 #include "onrtc/onrtc.hpp"
 #include "partition/partition.hpp"
 #include "stats/stats.hpp"
@@ -36,6 +37,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  clue::bench::export_table("partition", table);
   std::cout << "\nExpected shape: slpl-idbit uneven; clpl-subtree even with\n"
                "redundancy growing in n; clue-even exactly even, redundancy 0,\n"
                "smallest buckets (compressed table).\n";

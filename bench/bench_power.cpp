@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "tcam/tcam_chip.hpp"
 #include "workload/traffic_gen.hpp"
@@ -99,6 +100,7 @@ int main() {
   report("4-way partitioned, uncompressed", original, true);
   report("4-way partitioned, ONRTC (CLUE)", compressed, true);
   out.print(std::cout);
+  clue::bench::export_table("power", out);
   std::cout << "\nExpected shape: partitioning divides energy by ~4, ONRTC\n"
                "shaves a further ~29%; combined ~18% of the naive search.\n";
   return 0;

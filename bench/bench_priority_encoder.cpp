@@ -7,6 +7,7 @@
 // statistics and demonstrate the layout-independence property.
 #include <iostream>
 
+#include "metrics_out.hpp"
 #include "netbase/rng.hpp"
 #include "onrtc/onrtc.hpp"
 #include "stats/stats.hpp"
@@ -88,6 +89,7 @@ int main() {
                fixed(compressed_matches.max(), 0),
                compressed_matches.max() > 1 ? "yes" : "no"});
   out.print(std::cout);
+  clue::bench::export_table("priority_encoder", out);
   std::cout << "\nForwarding disagreements between the two images: "
             << disagreements << " (must be 0)\n"
             << "Compressed image energy per search: "

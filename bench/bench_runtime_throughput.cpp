@@ -9,14 +9,23 @@
 // it degenerates to context-switch throughput (the numbers still
 // print, the scaling claim needs cores).
 //
+// Observability: every run exports through obs::MetricsRegistry — the
+// figure table, per-worker service-time histograms, the client latency
+// histogram, and the TTF stage traces of the churn thread's updates.
+//
 //   $ ./bench/bench_runtime_throughput
 //   $ CLUE_CSV_DIR=/tmp ./bench/bench_runtime_throughput
+//   $ CLUE_METRICS_DIR=/tmp ./bench/bench_runtime_throughput   # JSON
+//   $ CLUE_BENCH_LOOKUPS=50000 ./bench/bench_runtime_throughput  # smoke
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "csv_out.hpp"
+#include "metrics_out.hpp"
+#include "obs/metrics_registry.hpp"
 #include "runtime/lookup_runtime.hpp"
 #include "stats/stats.hpp"
 #include "workload/rib_gen.hpp"
@@ -39,7 +48,9 @@ struct RunResult {
 };
 
 RunResult run_once(const clue::trie::BinaryTrie& fib, std::size_t workers,
-                   std::size_t lookups, std::size_t updates_in_flight) {
+                   std::size_t lookups, std::size_t updates_in_flight,
+                   clue::obs::MetricsRegistry* registry,
+                   const std::string& run_tag) {
   RuntimeConfig config;
   config.worker_count = workers;
   LookupRuntime runtime(fib, config);
@@ -91,7 +102,36 @@ RunResult run_once(const clue::trie::BinaryTrie& fib, std::size_t workers,
   result.p999_us = latency.quantile(0.999);
   result.dred_hit_rate = metrics.dred_hit_rate();
   result.diverted = metrics.diverted;
+
+  if (registry) {
+    registry->set_gauge(run_tag + ".mlookups_per_s", result.mlookups_per_s);
+    registry->set_counter(run_tag + ".diverted", metrics.diverted);
+    registry->set_counter(run_tag + ".backpressure_waits",
+                          metrics.backpressure_waits);
+    registry->set_counter(run_tag + ".client_stalls", metrics.client_stalls);
+    registry->set_counter(run_tag + ".updates_applied",
+                          metrics.updates_applied);
+    registry->set_gauge(run_tag + ".dred_hit_rate", result.dred_hit_rate);
+    // Per-worker service-time histograms + client latency histogram.
+    for (std::size_t w = 0; w < runtime.worker_count(); ++w) {
+      registry->add_histogram(
+          run_tag + ".worker" + std::to_string(w) + ".service_ns",
+          runtime.worker_service_histogram(w));
+    }
+    registry->add_histogram(run_tag + ".client.latency_ns",
+                            runtime.client_latency_histogram());
+    // TTF stage traces from the churn thread's updates (empty when the
+    // run had no churn).
+    registry->add_ttf_trace(run_tag + ".ttf", runtime.ttf_trace());
+  }
   return result;
+}
+
+std::size_t lookups_from_env(std::size_t fallback) {
+  const char* value = std::getenv("CLUE_BENCH_LOOKUPS");
+  if (!value || !*value) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
 }  // namespace
@@ -100,7 +140,7 @@ int main() {
   using clue::stats::fixed;
   using clue::stats::percent;
 
-  constexpr std::size_t kLookups = 2'000'000;
+  const std::size_t kLookups = lookups_from_env(2'000'000);
 
   clue::workload::RibConfig rib_config;
   rib_config.table_size = 100'000;
@@ -110,15 +150,19 @@ int main() {
   std::cout << "=== Threaded runtime throughput (" << fib.size()
             << " routes, batches of 4096, "
             << std::thread::hardware_concurrency()
-            << " hardware threads) ===\n\n";
+            << " hardware threads, " << kLookups << " lookups/run) ===\n\n";
 
+  clue::obs::MetricsRegistry registry;
   std::vector<std::vector<std::string>> csv_rows;
   clue::stats::TablePrinter out({"Workers", "Churn", "Mlookups/s", "Scaling",
                                  "p50(us)", "p99(us)", "p999(us)", "DRedHit"});
   double base = 0.0;
   for (const bool churn : {false, true}) {
     for (const std::size_t workers : {1u, 2u, 4u}) {
-      const auto r = run_once(fib, workers, kLookups, churn ? 1 : 0);
+      const std::string tag = "w" + std::to_string(workers) +
+                              (churn ? ".churn" : ".nochurn");
+      const auto r = run_once(fib, workers, kLookups, churn ? 1 : 0,
+                              &registry, tag);
       if (workers == 1 && !churn) base = r.mlookups_per_s;
       const double scaling = base > 0.0 ? r.mlookups_per_s / base : 0.0;
       out.add_row({std::to_string(workers), churn ? "yes" : "no",
@@ -135,11 +179,13 @@ int main() {
                "4096-address batch (queueing included). Churn = a control\n"
                "thread applying BGP updates back-to-back during the run;\n"
                "throughput should barely move — lookups read snapshots and\n"
-               "never take a lock.\n";
+               "never take a lock. Set CLUE_METRICS_DIR for the full JSON\n"
+               "export (per-worker latency histograms, TTF stage traces).\n";
 
-  clue::bench::maybe_write_csv(
+  registry.add_table(
       "runtime_throughput",
       {"workers", "churn", "mlookups_per_s", "p50_us", "p99_us", "p999_us"},
       csv_rows);
+  clue::bench::export_run("runtime_throughput", registry);
   return 0;
 }

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "csv_out.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -89,9 +89,11 @@ int main() {
                       fixed(clpl_h[i], 5), fixed(clpl_t[i], 5),
                       fixed(3.0 * clue_h[i] + 1.0, 5)});
     }
-    clue::bench::maybe_write_csv(
+    clue::obs::MetricsRegistry registry;
+    registry.add_table(
         "fig16_speedup",
         {"clue_h", "clue_t", "clpl_h", "clpl_t", "theory_at_clue_h"}, rows);
+    clue::bench::export_run("speedup", registry);
   }
 
   // The paper draws its Fig. 16 curves with cubic fits; emit ours so the

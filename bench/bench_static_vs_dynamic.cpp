@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "engine/slpl_setup.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -108,6 +109,7 @@ int main() {
                  percent(clue_row.drop_rate)});
   }
   out.print(std::cout);
+  clue::bench::export_table("static_vs_dynamic", out);
   std::cout << "\nExpected shape: comparable on the stable workload; on the\n"
                "shifted workload SLPL's speedup falls (its replicas sit on\n"
                "yesterday's hot buckets) while CLUE's DReds re-learn the new\n"

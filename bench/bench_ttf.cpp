@@ -11,7 +11,7 @@
 // faster in absolute terms than the paper's 2008-era host.
 #include <iostream>
 
-#include "csv_out.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "update/clpl_pipeline.hpp"
 #include "update/clue_pipeline.hpp"
@@ -150,11 +150,19 @@ int main() {
     emit(clpl_series.ttf2, clue_series.ttf2, 1);
     emit(clpl_series.ttf3, clue_series.ttf3, 2);
     emit(clpl_series.total, clue_series.total, 3);
-    clue::bench::maybe_write_csv(
+    clue::obs::MetricsRegistry registry;
+    registry.add_table(
         "fig10_14_ttf",
         {"bucket", "ttf1_clpl", "ttf1_clue", "ttf2_clpl", "ttf2_clue",
          "ttf3_clpl", "ttf3_clue", "total_clpl", "total_clue"},
         rows);
+    registry.set_gauge("ttf.clue.data_plane_mean_us",
+                       clue_series.data_plane.overall().mean());
+    registry.set_gauge("ttf.clpl.data_plane_mean_us",
+                       clpl_series.data_plane.overall().mean());
+    registry.set_gauge("ttf.data_plane_ratio", dp_ratio);
+    registry.set_gauge("ttf.total_ratio", total_ratio);
+    clue::bench::export_run("ttf", registry);
   }
 
   std::cout << "\nData-plane percentiles (us):\n"

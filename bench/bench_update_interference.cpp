@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -59,6 +60,7 @@ int main() {
     }
   }
   out.print(std::cout);
+  clue::bench::export_table("update_interference", out);
   std::cout << "\nExpected shape: at one update per 5000 clocks (the paper's\n"
                "reference point) the speedup is indistinguishable from the\n"
                "no-update row, even with 15-clock Shah-Gupta stalls; only\n"

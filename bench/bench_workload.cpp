@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "engine/indexing_logic.hpp"
+#include "metrics_out.hpp"
 #include "stats/stats.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -78,6 +79,7 @@ int main() {
     }
   }
   out.print(std::cout);
+  clue::bench::export_table("workload", out);
   std::cout << "\nExpected shape: a handful of partitions carry most of the\n"
                "traffic; the sorted 8-per-chip mapping concentrates ~3/4 of\n"
                "all load on TCAM 1 (paper: 77.88/17.43/4.54/0.16%).\n";

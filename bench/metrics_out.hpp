@@ -1,0 +1,68 @@
+// Bench output through the observability layer (replaces csv_out.hpp).
+//
+// Each bench assembles one obs::MetricsRegistry per run — its figure
+// series as tables, headline numbers as gauges/counters, and (for the
+// runtime benches) latency histograms and TTF traces — then calls
+// export_run():
+//
+//   CLUE_CSV_DIR=<dir>      each table -> <dir>/<table>.csv, the same
+//                           gnuplot-ready files csv_out.hpp wrote;
+//   CLUE_METRICS_DIR=<dir>  the whole registry -> <dir>/<name>.json.
+//
+// Without either variable set, benches only print their tables.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "stats/stats.hpp"
+
+namespace clue::bench {
+
+/// Copies a printed stats::TablePrinter into the registry, so the table
+/// a bench displays is exactly the table it exports.
+inline void add_table(obs::MetricsRegistry& registry, std::string name,
+                      const stats::TablePrinter& printer) {
+  registry.add_table(std::move(name), printer.headers(), printer.rows());
+}
+
+inline void export_run(const std::string& name,
+                       const obs::MetricsRegistry& registry) {
+  if (const char* dir = std::getenv("CLUE_CSV_DIR"); dir && *dir) {
+    for (const auto& table : registry.tables()) {
+      const std::string path = std::string(dir) + "/" + table.name + ".csv";
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "csv: cannot write " << path << "\n";
+        continue;
+      }
+      stats::write_csv(out, table.headers, table.rows);
+      std::cout << "[csv] wrote " << path << "\n";
+    }
+  }
+  if (const char* dir = std::getenv("CLUE_METRICS_DIR"); dir && *dir) {
+    const std::string path = std::string(dir) + "/" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "metrics: cannot write " << path << "\n";
+      return;
+    }
+    out << registry.to_json() << "\n";
+    std::cout << "[metrics] wrote " << path << "\n";
+  }
+}
+
+/// Convenience for benches whose only export is their display table.
+inline void export_table(const std::string& name,
+                         const stats::TablePrinter& printer) {
+  obs::MetricsRegistry registry;
+  add_table(registry, name, printer);
+  export_run(name, registry);
+}
+
+}  // namespace clue::bench

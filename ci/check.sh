@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 suite in a plain build, then the same suite under
 # ASan+UBSan, then the concurrency tests (SPSC ring, epoch domain,
-# runtime stress) under TSan. Any data race, leak, UB, or test failure
+# runtime stress, observability counters/histograms) under TSan, then a
+# metrics-exporter smoke run (a small bench_runtime_throughput whose
+# JSON export must parse). Any data race, leak, UB, or test failure
 # fails the script.
 #
-#   $ ci/check.sh            # all three stages
+#   $ ci/check.sh            # all four stages
 #   $ ci/check.sh plain      # just the plain tier-1 run
 #   $ ci/check.sh asan       # just ASan+UBSan
 #   $ ci/check.sh tsan       # just TSan concurrency stage
+#   $ ci/check.sh smoke      # just the metrics-exporter smoke run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,20 +41,56 @@ run_tsan() {
   configure_and_build build-tsan thread
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'SpscRingTest|EpochTest|LookupRuntimeTest'
+      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest'
+}
+
+run_smoke() {
+  echo "=== stage: metrics-exporter smoke ==="
+  configure_and_build build ""
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  CLUE_METRICS_DIR="$out" CLUE_CSV_DIR="$out" CLUE_BENCH_LOOKUPS=20000 \
+    ./build/bench/bench_runtime_throughput >/dev/null
+  [ -s "$out/runtime_throughput.json" ] || {
+    echo "smoke: JSON export missing" >&2
+    exit 1
+  }
+  [ -s "$out/runtime_throughput.csv" ] || {
+    echo "smoke: CSV export missing" >&2
+    exit 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$out/runtime_throughput.json" >/dev/null || {
+      echo "smoke: exported JSON does not parse" >&2
+      exit 1
+    }
+    python3 - "$out/runtime_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["histograms"], "no histograms exported"
+assert any(".service_ns" in k for k in doc["histograms"]), "no worker histograms"
+assert "ttf_traces" in doc, "no TTF trace section"
+EOF
+  else
+    echo "smoke: python3 not found, skipping JSON parse check"
+  fi
+  echo "smoke: exporter output OK"
 }
 
 case "$STAGE" in
   plain) run_plain ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
+  smoke) run_smoke ;;
   all)
     run_plain
     run_asan
     run_tsan
+    run_smoke
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|smoke|all]" >&2
     exit 2
     ;;
 esac

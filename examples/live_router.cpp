@@ -13,6 +13,7 @@
 #include <iostream>
 #include <thread>
 
+#include "obs/metrics_registry.hpp"
 #include "stats/stats.hpp"
 #include "system/clue_system.hpp"
 #include "workload/rib_gen.hpp"
@@ -56,16 +57,31 @@ int main() {
     }
   });
 
-  // Client thread (this one): traffic batches until the churn is done.
+  // Client thread (this one): traffic batches until the churn is done,
+  // with a live stats line at the end of each churn phase.
   clue::netbase::Pcg32 rng(3003);
   std::vector<Ipv4Address> batch;
   std::uint64_t looked_up = 0;
+  int phases_reported = 0;
   const auto start = std::chrono::steady_clock::now();
   while (phases_done.load(std::memory_order_acquire) < kPhases) {
     batch.clear();
     for (int i = 0; i < 4096; ++i) batch.emplace_back(rng.next());
     runtime->lookup_batch(batch);
     looked_up += batch.size();
+    const int phase = phases_done.load(std::memory_order_acquire);
+    if (phase > phases_reported) {
+      phases_reported = phase;
+      const auto m = runtime->metrics();
+      const double so_far = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+      std::cout << "[phase " << phase << "/" << kPhases << "] "
+                << fixed(static_cast<double>(looked_up) / so_far / 1e6, 3)
+                << " Mlookups/s, " << m.updates_applied << " updates, "
+                << "DRed hit " << percent(m.dred_hit_rate()) << ", "
+                << m.tables_published << " tables published\n";
+    }
   }
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
@@ -73,6 +89,7 @@ int main() {
   control.join();
 
   const auto metrics = runtime->metrics();
+  std::cout << "\n";
   clue::stats::TablePrinter out({"Metric", "Value"});
   out.add_row({"lookups during churn", std::to_string(looked_up)});
   out.add_row({"throughput (Mlookups/s)",
@@ -93,7 +110,10 @@ int main() {
   clue::netbase::Pcg32 verify_rng(3010);
   std::vector<Ipv4Address> sweep;
   for (int i = 0; i < 20'000; ++i) sweep.emplace_back(verify_rng.next());
-  const auto hops = runtime->lookup_batch(sweep);
+  // Ask for latency samples so the metrics dump below also shows the
+  // client-side submit-to-completion histogram.
+  std::vector<double> latency_ns;
+  const auto hops = runtime->lookup_batch(sweep, &latency_ns);
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     if (hops[i] != truth.lookup(sweep[i])) {
       std::cout << "\nMISMATCH at " << sweep[i].to_string() << "!\n";
@@ -106,5 +126,12 @@ int main() {
             << kPhases * kBatch
             << " concurrent updates — forwarding never paused, and every "
                "retired table version was reclaimed.\n";
+
+  // Full observability export: runtime counters, per-worker service-time
+  // histograms, and the TTF trace ring, in the human-readable shape.
+  clue::obs::MetricsRegistry registry;
+  runtime->export_metrics(registry);
+  std::cout << "\n=== Metrics dump ===\n";
+  registry.dump(std::cout);
   return 0;
 }

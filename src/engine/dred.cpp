@@ -21,9 +21,15 @@ std::optional<NextHop> DredStore::lookup(Ipv4Address address) {
 
 void DredStore::insert(const Route& route) {
   if (const auto it = index_.find(route.prefix); it != index_.end()) {
-    it->second->next_hop = route.next_hop;
-    match_.insert(route.prefix, route.next_hop);
+    // Already cached: this is an update, not a fresh insertion — the
+    // cache does not grow, and the match trie is only rewritten when the
+    // next hop actually changed (re-offering the same route is a no-op).
+    if (it->second->next_hop != route.next_hop) {
+      it->second->next_hop = route.next_hop;
+      match_.insert(route.prefix, route.next_hop);
+    }
     touch(it->second);
+    ++stats_.updates;
     return;
   }
   if (entries_.size() == capacity_) {
@@ -37,6 +43,17 @@ void DredStore::insert(const Route& route) {
   index_[route.prefix] = entries_.begin();
   match_.insert(route.prefix, route.next_hop);
   ++stats_.insertions;
+}
+
+bool DredStore::fix(const Route& route) {
+  const auto it = index_.find(route.prefix);
+  if (it == index_.end()) return false;
+  if (it->second->next_hop != route.next_hop) {
+    it->second->next_hop = route.next_hop;
+    match_.insert(route.prefix, route.next_hop);
+  }
+  ++stats_.updates;
+  return true;
 }
 
 bool DredStore::erase(const Prefix& prefix) {

@@ -29,7 +29,8 @@ class DredStore {
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
-    std::uint64_t insertions = 0;
+    std::uint64_t insertions = 0;  ///< fresh entries only (cache grew)
+    std::uint64_t updates = 0;     ///< already-cached prefix re-offered/fixed
     std::uint64_t evictions = 0;
     std::uint64_t erasures = 0;
 
@@ -47,7 +48,15 @@ class DredStore {
 
   /// Caches `route`, refreshing recency if already present (and updating
   /// its next hop); evicts the least-recently-used entry when full.
+  /// A re-offered prefix counts as an update, never a fresh insertion,
+  /// and touches the match trie only when the next hop actually changed.
   void insert(const Route& route);
+
+  /// Control-plane fix (§IV-C kModify sync): rewrites the next hop of an
+  /// already-cached prefix *without* promoting it in LRU order — a sync
+  /// message is not a reuse, so it must not distort replacement. Returns
+  /// false when the prefix is not cached.
+  bool fix(const Route& route);
 
   /// Exact-prefix removal (routing-update synchronisation, §IV-C).
   bool erase(const Prefix& prefix);
@@ -66,6 +75,14 @@ class DredStore {
 
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
+
+  /// Structural invariant: the LRU list, the prefix index, and the match
+  /// trie describe the same entry set, within capacity. Cheap enough for
+  /// tests to assert after every mutation.
+  bool invariants_ok() const {
+    return entries_.size() == index_.size() &&
+           match_.size() == entries_.size() && entries_.size() <= capacity_;
+  }
 
  private:
   void touch(std::list<Route>::iterator it);

@@ -1,0 +1,56 @@
+// CounterBlock — a cache-line-padded block of named event counters.
+//
+// The observability layer's answer to "a struct full of ad-hoc atomics":
+// each logical owner (a chip worker, the client role) gets its own block,
+// aligned and padded to a cache-line multiple so two owners bumping their
+// counters never false-share. Increments are relaxed fetch_adds on the
+// owner's line — the hot path never synchronises — and any thread may
+// take a (relaxed, consistent-enough) snapshot off the hot path.
+//
+// The counter names are an enum class whose last enumerator must be
+// kCount; the enum doubles as the index space, so adding a counter is
+// one enumerator plus one label, with no layout bookkeeping.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace clue::obs {
+
+template <typename Enum>
+class alignas(64) CounterBlock {
+ public:
+  static constexpr std::size_t kCount = static_cast<std::size_t>(Enum::kCount);
+
+  /// Owner-side increment; relaxed, never contended when each owner has
+  /// its own block.
+  void add(Enum counter, std::uint64_t n = 1) {
+    counters_[index(counter)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Readable from any thread (relaxed).
+  std::uint64_t get(Enum counter) const {
+    return counters_[index(counter)].load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy of every counter (relaxed per-element reads:
+  /// consistent enough for metrics, not a linearizable snapshot).
+  std::array<std::uint64_t, kCount> snapshot() const {
+    std::array<std::uint64_t, kCount> out{};
+    for (std::size_t i = 0; i < kCount; ++i) {
+      out[i] = counters_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t index(Enum counter) {
+    return static_cast<std::size_t>(counter);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kCount> counters_{};
+};
+
+}  // namespace clue::obs

@@ -1,0 +1,55 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clue::obs {
+
+std::size_t HistogramSnapshot::bucket_of(double ns) {
+  if (ns < 1.0) return 0;
+  // Clamp before the integer cast: a double at or beyond 2^63 would be
+  // UB to convert, and anything past the last bucket's edge lands there
+  // anyway.
+  if (ns >= bucket_upper_ns(kBuckets - 2)) return kBuckets - 1;
+  const auto v = static_cast<std::uint64_t>(ns);
+  const auto bucket = static_cast<std::size_t>(std::bit_width(v));
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum_ns += other.sum_ns;
+}
+
+double HistogramSnapshot::mean_ns() const {
+  return total ? static_cast<double>(sum_ns) / static_cast<double>(total)
+               : 0.0;
+}
+
+double HistogramSnapshot::quantile_ns(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    if (counts[bucket] == 0) continue;
+    if (target == 0) return bucket_lower_ns(bucket);  // q == 0: the min bucket
+    cumulative += counts[bucket];
+    if (cumulative >= target) return bucket_upper_ns(bucket);
+  }
+  return bucket_upper_ns(kBuckets - 1);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    out.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    out.total += out.counts[i];
+  }
+  out.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace clue::obs

@@ -1,0 +1,85 @@
+// LatencyHistogram — log-bucketed latency recording for the hot path.
+//
+// Bucket b holds samples in [2^(b-1), 2^b) nanoseconds (bucket 0 is
+// [0, 1)): 48 buckets cover sub-nanosecond through ~1.5 days, which is
+// every latency this system can produce. Recording is a relaxed
+// load+store pair into the owner's bucket array (single-writer, so no
+// RMW is needed) — no locks, no allocation, no floating point beyond
+// the initial truncation — so a chip worker can record on its lookup
+// path. Snapshots are taken off the hot path and
+// merge exactly: merging per-worker snapshots equals one histogram fed
+// all samples, which is what makes per-worker recording free of shared
+// state.
+//
+// Quantiles are bucket-edge approximations (exact to within one power of
+// two); the benches that need exact ranks keep using stats::Percentiles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace clue::obs {
+
+/// Mergeable point-in-time copy of a LatencyHistogram.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 48;
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  std::uint64_t sum_ns = 0;
+
+  /// Element-wise accumulation: merge(a, b) == histogram fed a's and b's
+  /// samples.
+  void merge(const HistogramSnapshot& other);
+
+  bool empty() const { return total == 0; }
+  double mean_ns() const;
+
+  /// Upper-edge approximation: the smallest bucket boundary v such that
+  /// at least ceil(q * total) samples are <= v. q = 0 returns the lower
+  /// edge of the first occupied bucket; an empty snapshot returns 0.
+  double quantile_ns(double q) const;
+
+  /// Exclusive upper edge of `bucket`: 2^bucket ns.
+  static double bucket_upper_ns(std::size_t bucket) {
+    return static_cast<double>(std::uint64_t{1} << bucket);
+  }
+  /// Inclusive lower edge of `bucket`.
+  static double bucket_lower_ns(std::size_t bucket) {
+    return bucket == 0 ? 0.0
+                       : static_cast<double>(std::uint64_t{1} << (bucket - 1));
+  }
+  /// The bucket a sample of `ns` nanoseconds lands in.
+  static std::size_t bucket_of(double ns);
+};
+
+/// Single-owner recorder (one writer at a time; any thread may
+/// snapshot). Cache-line aligned so adjacent per-worker histograms never
+/// false-share.
+class alignas(64) LatencyHistogram {
+ public:
+  void record(double ns) {
+    const std::size_t bucket = HistogramSnapshot::bucket_of(ns);
+    // Single-writer, so plain load+store relaxed pairs (no RMW lock
+    // prefix) are lossless; concurrent snapshot() readers already
+    // tolerate per-element relaxed reads.
+    counts_[bucket].store(
+        counts_[bucket].load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    sum_ns_.store(sum_ns_.load(std::memory_order_relaxed) +
+                      (ns <= 0.0 ? 0 : static_cast<std::uint64_t>(ns)),
+                  std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+      counts_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+}  // namespace clue::obs

@@ -1,0 +1,42 @@
+#include "obs/ttf_trace.hpp"
+
+namespace clue::obs {
+
+TtfTraceRing::TtfTraceRing(std::size_t capacity) : capacity_(capacity) {
+  entries_.reserve(capacity_);
+}
+
+void TtfTraceRing::record(const TtfTraceEntry& entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(entry);
+  } else {
+    entries_[next_] = entry;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TtfTraceEntry> TtfTraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TtfTraceEntry> out;
+  out.reserve(entries_.size());
+  if (entries_.size() < capacity_) {
+    out = entries_;
+  } else {
+    // Full ring: next_ is the oldest slot.
+    out.insert(out.end(), entries_.begin() + static_cast<std::ptrdiff_t>(next_),
+               entries_.end());
+    out.insert(out.end(), entries_.begin(),
+               entries_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::uint64_t TtfTraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+}  // namespace clue::obs

@@ -32,13 +32,21 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
                              const RuntimeConfig& config)
     : config_(config),
       fib_(fib),
-      epoch_(config.worker_count == 0 ? 1 : config.worker_count) {
+      epoch_(config.worker_count == 0 ? 1 : config.worker_count),
+      ttf_ring_(config.ttf_trace_depth) {
   if (config.worker_count == 0) {
     throw std::invalid_argument("LookupRuntime: need at least one worker");
   }
   if (config.fifo_depth == 0) {
     throw std::invalid_argument("LookupRuntime: fifo_depth must be positive");
   }
+  if (config.latency_sample_every &
+      (config.latency_sample_every - 1)) {
+    throw std::invalid_argument(
+        "LookupRuntime: latency_sample_every must be a power of two or 0");
+  }
+  sample_enabled_ = config.latency_sample_every > 0;
+  sample_mask_ = sample_enabled_ ? config.latency_sample_every - 1 : 0;
   dred_enabled_ = config.dred_capacity > 0 && config.worker_count > 1;
 
   const auto table = fib_.compressed().routes();
@@ -82,11 +90,16 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
   }
 }
 
-LookupRuntime::~LookupRuntime() {
+void LookupRuntime::stop() {
   stop_.store(true, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(stop_mutex_);
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+}
+
+LookupRuntime::~LookupRuntime() {
+  stop();
   for (auto& worker : workers_) {
     delete worker->active.load(std::memory_order_relaxed);
   }
@@ -136,20 +149,36 @@ void LookupRuntime::worker_main(std::size_t w) {
 LookupRuntime::Completion LookupRuntime::process(std::size_t w,
                                                  const Job& job) {
   Worker& me = *workers_[w];
-  me.stats.jobs.fetch_add(1, std::memory_order_relaxed);
+  // Service-time sampling: time one in every latency_sample_every jobs
+  // so the histogram costs two clock reads per sample, not per lookup.
+  // jobs_seen is worker-private, so the per-job cost is a plain
+  // increment + mask rather than an atomic load.
+  if (sample_enabled_ && (me.jobs_seen++ & sample_mask_) == 0) {
+    const auto t0 = Clock::now();
+    const Completion done = process_job(w, job);
+    me.service_hist.record(elapsed_ns(t0));
+    return done;
+  }
+  return process_job(w, job);
+}
+
+LookupRuntime::Completion LookupRuntime::process_job(std::size_t w,
+                                                     const Job& job) {
+  Worker& me = *workers_[w];
+  me.counters.add(WorkerCounter::kJobs);
   if (job.dred_only) {
-    me.stats.dred_lookups.fetch_add(1, std::memory_order_relaxed);
+    me.counters.add(WorkerCounter::kDredLookups);
     const auto hop = me.dred->lookup(job.address);
     if (hop) {
-      me.stats.dred_hits.fetch_add(1, std::memory_order_relaxed);
+      me.counters.add(WorkerCounter::kDredHits);
       return Completion{job.index, *hop, false};
     }
     // Miss: the client re-enqueues at the home chip (the runtime's
     // version of the engine's beyond-FIFO-bound return acceptance).
-    me.stats.miss_returns.fetch_add(1, std::memory_order_relaxed);
+    me.counters.add(WorkerCounter::kMissReturns);
     return Completion{job.index, netbase::kNoRoute, true};
   }
-  me.stats.home_lookups.fetch_add(1, std::memory_order_relaxed);
+  me.counters.add(WorkerCounter::kHomeLookups);
   std::optional<Route> matched;
   std::uint64_t version = 0;
   {
@@ -174,8 +203,10 @@ bool LookupRuntime::drain_control(std::size_t w) {
     if (me.dred) {
       if (msg.kind == ControlMsg::Kind::kErase) {
         me.dred->erase(msg.route.prefix);
-      } else if (me.dred->contains(msg.route.prefix)) {
-        me.dred->insert(msg.route);
+      } else {
+        // fix(): rewrite in place without promoting the entry in LRU
+        // order — a sync message is not a reuse.
+        me.dred->fix(msg.route);
       }
     }
     me.control_applied.fetch_add(1, std::memory_order_release);
@@ -198,11 +229,11 @@ bool LookupRuntime::drain_fills(std::size_t w) {
           workers_[msg.home]->published_version.load(
               std::memory_order_acquire);
       if (msg.version < current) {
-        me.stats.fills_dropped_stale.fetch_add(1, std::memory_order_relaxed);
+        me.counters.add(WorkerCounter::kFillsDroppedStale);
         continue;
       }
       me.dred->insert(msg.route);
-      me.stats.fills_applied.fetch_add(1, std::memory_order_relaxed);
+      me.counters.add(WorkerCounter::kFillsApplied);
     }
   }
   return any;
@@ -215,9 +246,9 @@ void LookupRuntime::send_fills(std::size_t w, const Route& matched,
   for (std::size_t peer = 0; peer < workers_.size(); ++peer) {
     if (!engine::dred_may_cache(peer, w)) continue;  // exclusion rule
     if (workers_[peer]->fills[w]->try_push(msg)) {
-      me.stats.fills_sent.fetch_add(1, std::memory_order_relaxed);
+      me.counters.add(WorkerCounter::kFillsSent);
     } else {
-      me.stats.fills_dropped_full.fetch_add(1, std::memory_order_relaxed);
+      me.counters.add(WorkerCounter::kFillsDroppedFull);
     }
   }
 }
@@ -243,7 +274,7 @@ bool LookupRuntime::try_submit(Ipv4Address address, std::uint32_t index) {
     case engine::DispatchDecision::Action::kDivert:
       if (workers_[decision.chip]->jobs->try_push(
               Job{address, index, true})) {
-        client_diverted_.fetch_add(1, std::memory_order_relaxed);
+        client_counters_.add(ClientCounter::kDiverted);
         return true;
       }
       return false;
@@ -266,6 +297,10 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
   std::size_t next = 0;
   std::size_t outstanding = 0;
   unsigned idle = 0;
+  // No-progress episodes longer than this many spins count as a stall in
+  // the metrics (workers wedged, descheduled, or the runtime stopping).
+  constexpr unsigned kStallSpins = 10'000;
+  bool stall_recorded = false;
   while (next < addresses.size() || outstanding > 0) {
     bool progress = false;
     // Returned misses first: they are the oldest jobs in flight.
@@ -282,7 +317,7 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
     // Fresh submissions until backpressure.
     while (next < addresses.size()) {
       if (!try_submit(addresses[next], static_cast<std::uint32_t>(next))) {
-        client_backpressure_.fetch_add(1, std::memory_order_relaxed);
+        client_counters_.add(ClientCounter::kBackpressureWaits);
         break;
       }
       if (latency_ns) submitted[next] = Clock::now();
@@ -301,7 +336,15 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
         } else {
           results[done.index] = done.hop;
           if (latency_ns) {
-            (*latency_ns)[done.index] = elapsed_ns(submitted[done.index]);
+            const double ns = elapsed_ns(submitted[done.index]);
+            (*latency_ns)[done.index] = ns;
+            // Same 1-in-N sampling as worker service timing: on a
+            // loaded host the client shares cycles with the workers,
+            // so per-completion recording taxes lookup throughput.
+            if (sample_enabled_ &&
+                (client_samples_seen_++ & sample_mask_) == 0) {
+              client_hist_.record(ns);
+            }
           }
           --outstanding;
         }
@@ -309,16 +352,28 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
     }
     if (progress) {
       idle = 0;
+      stall_recorded = false;
       continue;
     }
-    if (++idle < 64) {
+    // Bounded spin: a stopping runtime (workers joined, rings wedged)
+    // must unblock the client instead of yielding forever. Unanswered
+    // addresses keep their kNoRoute default.
+    if (stop_.load(std::memory_order_acquire)) {
+      client_counters_.add(ClientCounter::kBatchesAborted);
+      break;
+    }
+    ++idle;
+    if (idle >= kStallSpins && !stall_recorded) {
+      client_counters_.add(ClientCounter::kStalls);
+      stall_recorded = true;
+    }
+    if (idle < 64) {
       cpu_relax();
     } else {
       std::this_thread::yield();
-      idle = 0;
     }
   }
-  client_completed_.fetch_add(addresses.size(), std::memory_order_relaxed);
+  client_counters_.add(ClientCounter::kLookupsCompleted, addresses.size());
   return results;
 }
 
@@ -339,7 +394,20 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   sample.ttf1_ns = elapsed_ns(t0);
   if (ops.empty()) return sample;
 
-  updates_started_.fetch_add(1, std::memory_order_seq_cst);
+  obs::TtfTraceEntry trace;
+  trace.seq = updates_started_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  trace.ttf1_ns = sample.ttf1_ns;
+  // Queue-depth sample: how hard the data plane was running when this
+  // update cut in (correlates TTF tails with lookup pressure).
+  std::size_t depth_sum = 0;
+  for (const auto& worker : workers_) {
+    const std::size_t depth = worker->jobs->size_approx();
+    depth_sum += depth;
+    trace.queue_depth_max =
+        std::max(trace.queue_depth_max, static_cast<std::uint32_t>(depth));
+  }
+  trace.queue_depth_mean = static_cast<double>(depth_sum) /
+                           static_cast<double>(workers_.size());
 
   // --- TTF2: shadow copy, piece ops, one pointer swap per chip. ------
   const auto t1 = Clock::now();
@@ -364,6 +432,7 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   }
   for (std::size_t chip = 0; chip < workers_.size(); ++chip) {
     if (per_chip[chip].empty()) continue;
+    ++trace.chips_touched;
     Worker& worker = *workers_[chip];
     // The control thread is the only writer, so reading the active
     // version without a guard is safe; workers only ever read it.
@@ -387,6 +456,8 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   // --- TTF3: DRed erase/fix broadcast, wait for worker acks. ---------
   const auto t2 = Clock::now();
   if (dred_enabled_ && !broadcast.empty()) {
+    trace.control_msgs =
+        static_cast<std::uint32_t>(broadcast.size() * workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       Worker& worker = *workers_[i];
       for (const auto& msg : broadcast) {
@@ -411,6 +482,9 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
 
   updates_completed_.fetch_add(1, std::memory_order_seq_cst);
   epoch_.reclaim();
+  trace.ttf2_ns = sample.ttf2_ns;
+  trace.ttf3_ns = sample.ttf3_ns;
+  ttf_ring_.record(trace);
   return sample;
 }
 
@@ -420,28 +494,71 @@ RuntimeMetrics LookupRuntime::metrics() const {
   RuntimeMetrics m;
   m.per_worker_jobs.reserve(workers_.size());
   for (const auto& worker : workers_) {
-    const WorkerStats& s = worker->stats;
-    m.per_worker_jobs.push_back(s.jobs.load(std::memory_order_relaxed));
-    m.home_lookups += s.home_lookups.load(std::memory_order_relaxed);
-    m.dred_lookups += s.dred_lookups.load(std::memory_order_relaxed);
-    m.dred_hits += s.dred_hits.load(std::memory_order_relaxed);
-    m.miss_returns += s.miss_returns.load(std::memory_order_relaxed);
-    m.fills_sent += s.fills_sent.load(std::memory_order_relaxed);
-    m.fills_applied += s.fills_applied.load(std::memory_order_relaxed);
-    m.fills_dropped_full +=
-        s.fills_dropped_full.load(std::memory_order_relaxed);
-    m.fills_dropped_stale +=
-        s.fills_dropped_stale.load(std::memory_order_relaxed);
+    const auto& c = worker->counters;
+    m.per_worker_jobs.push_back(c.get(WorkerCounter::kJobs));
+    m.home_lookups += c.get(WorkerCounter::kHomeLookups);
+    m.dred_lookups += c.get(WorkerCounter::kDredLookups);
+    m.dred_hits += c.get(WorkerCounter::kDredHits);
+    m.miss_returns += c.get(WorkerCounter::kMissReturns);
+    m.fills_sent += c.get(WorkerCounter::kFillsSent);
+    m.fills_applied += c.get(WorkerCounter::kFillsApplied);
+    m.fills_dropped_full += c.get(WorkerCounter::kFillsDroppedFull);
+    m.fills_dropped_stale += c.get(WorkerCounter::kFillsDroppedStale);
   }
-  m.lookups_completed = client_completed_.load(std::memory_order_relaxed);
-  m.diverted = client_diverted_.load(std::memory_order_relaxed);
+  m.lookups_completed = client_counters_.get(ClientCounter::kLookupsCompleted);
+  m.diverted = client_counters_.get(ClientCounter::kDiverted);
   m.backpressure_waits =
-      client_backpressure_.load(std::memory_order_relaxed);
+      client_counters_.get(ClientCounter::kBackpressureWaits);
+  m.client_stalls = client_counters_.get(ClientCounter::kStalls);
+  m.batches_aborted = client_counters_.get(ClientCounter::kBatchesAborted);
   m.updates_applied = updates_completed_.load(std::memory_order_relaxed);
   m.tables_published = tables_published_.load(std::memory_order_relaxed);
   m.tables_reclaimed = epoch_.reclaimed();
   m.tables_pending = epoch_.pending();
   return m;
+}
+
+obs::HistogramSnapshot LookupRuntime::worker_service_histogram(
+    std::size_t worker) const {
+  return workers_[worker]->service_hist.snapshot();
+}
+
+obs::HistogramSnapshot LookupRuntime::client_latency_histogram() const {
+  return client_hist_.snapshot();
+}
+
+std::vector<obs::TtfTraceEntry> LookupRuntime::ttf_trace() const {
+  return ttf_ring_.snapshot();
+}
+
+void LookupRuntime::export_metrics(obs::MetricsRegistry& registry) const {
+  const RuntimeMetrics m = metrics();
+  registry.set_counter("runtime.lookups_completed", m.lookups_completed);
+  registry.set_counter("runtime.home_lookups", m.home_lookups);
+  registry.set_counter("runtime.dred_lookups", m.dred_lookups);
+  registry.set_counter("runtime.dred_hits", m.dred_hits);
+  registry.set_counter("runtime.miss_returns", m.miss_returns);
+  registry.set_counter("runtime.diverted", m.diverted);
+  registry.set_counter("runtime.backpressure_waits", m.backpressure_waits);
+  registry.set_counter("runtime.client_stalls", m.client_stalls);
+  registry.set_counter("runtime.batches_aborted", m.batches_aborted);
+  registry.set_counter("runtime.fills_sent", m.fills_sent);
+  registry.set_counter("runtime.fills_applied", m.fills_applied);
+  registry.set_counter("runtime.fills_dropped_full", m.fills_dropped_full);
+  registry.set_counter("runtime.fills_dropped_stale", m.fills_dropped_stale);
+  registry.set_counter("runtime.updates_applied", m.updates_applied);
+  registry.set_counter("runtime.tables_published", m.tables_published);
+  registry.set_counter("runtime.tables_reclaimed", m.tables_reclaimed);
+  registry.set_counter("runtime.tables_pending", m.tables_pending);
+  registry.set_gauge("runtime.dred_hit_rate", m.dred_hit_rate());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::string prefix = "runtime.worker" + std::to_string(i);
+    registry.set_counter(prefix + ".jobs", m.per_worker_jobs[i]);
+    registry.add_histogram(prefix + ".service_ns",
+                           workers_[i]->service_hist.snapshot());
+  }
+  registry.add_histogram("runtime.client.latency_ns", client_hist_.snapshot());
+  registry.add_ttf_trace("runtime.ttf", ttf_ring_.snapshot());
 }
 
 }  // namespace clue::runtime

@@ -40,13 +40,19 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/dred.hpp"
 #include "engine/indexing_logic.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/ttf_trace.hpp"
 #include "onrtc/compressed_fib.hpp"
 #include "runtime/epoch.hpp"
 #include "runtime/spsc_ring.hpp"
@@ -68,6 +74,38 @@ struct RuntimeConfig {
   std::size_t completion_depth = 1024;
   std::size_t control_depth = 4096;
   std::size_t fill_depth = 256;
+  /// Retained apply() traces (TTF spans + queue depths); 0 disables.
+  std::size_t ttf_trace_depth = 1024;
+  /// Workers time one in every `latency_sample_every` jobs into their
+  /// service-time histogram, and the client records one in every
+  /// `latency_sample_every` completion latencies (power of two; 0
+  /// disables sampling). The default costs two clock reads per 64
+  /// lookups — noise.
+  std::size_t latency_sample_every = 64;
+};
+
+/// Per-worker counter names; one obs::CounterBlock per chip worker.
+enum class WorkerCounter : std::size_t {
+  kJobs,
+  kHomeLookups,
+  kDredLookups,
+  kDredHits,
+  kMissReturns,
+  kFillsSent,
+  kFillsApplied,
+  kFillsDroppedFull,
+  kFillsDroppedStale,
+  kCount,
+};
+
+/// Client-role counter names (one block, owned by the submitting thread).
+enum class ClientCounter : std::size_t {
+  kLookupsCompleted,
+  kDiverted,
+  kBackpressureWaits,
+  kStalls,          ///< no-progress episodes that exceeded the spin bound
+  kBatchesAborted,  ///< lookup_batch unblocked by stop() mid-flight
+  kCount,
 };
 
 /// Aggregated counters; a consistent-enough snapshot (relaxed reads).
@@ -79,6 +117,8 @@ struct RuntimeMetrics {
   std::uint64_t miss_returns = 0;  ///< DRed misses re-enqueued home
   std::uint64_t diverted = 0;      ///< jobs sent to a non-home chip
   std::uint64_t backpressure_waits = 0;  ///< all queues full -> client spun
+  std::uint64_t client_stalls = 0;   ///< spin-bound exceeded with no progress
+  std::uint64_t batches_aborted = 0; ///< batches unblocked by stop()
   std::uint64_t fills_sent = 0;
   std::uint64_t fills_applied = 0;
   std::uint64_t fills_dropped_full = 0;   ///< fill ring full (best effort)
@@ -122,6 +162,15 @@ class LookupRuntime {
   /// -clock nanoseconds per stage; lookups proceed concurrently.
   update::TtfSample apply(const workload::UpdateMsg& message);
 
+  /// Stops the runtime: workers drain and exit, and any in-flight
+  /// lookup_batch (even on another thread) unblocks, returning kNoRoute
+  /// for addresses it never got an answer for (counted in
+  /// RuntimeMetrics::batches_aborted). Idempotent; the destructor calls
+  /// it. After stop(), lookup_batch returns immediately and apply() must
+  /// not be called.
+  void stop();
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
   /// Frees retired table versions all workers have quiesced past.
   std::size_t reclaim() { return epoch_.reclaim(); }
 
@@ -145,6 +194,31 @@ class LookupRuntime {
   const RuntimeConfig& config() const { return config_; }
 
   RuntimeMetrics metrics() const;
+
+  // ---- observability exports (all off the hot path) ----
+
+  /// Fills `registry` with every runtime counter, per-worker service-time
+  /// histograms ("runtime.worker<i>.service_ns"), the client latency
+  /// histogram ("runtime.client.latency_ns", populated when lookup_batch
+  /// is called with latency sampling), and the TTF trace ("runtime.ttf").
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Per-worker service-time histogram (sampled 1-in-
+  /// `latency_sample_every` jobs).
+  obs::HistogramSnapshot worker_service_histogram(std::size_t worker) const;
+  /// Submit-to-completion latencies recorded by lookup_batch when the
+  /// caller asks for latency samples (sampled 1-in-
+  /// `latency_sample_every` completions).
+  obs::HistogramSnapshot client_latency_histogram() const;
+  /// The most recent apply() traces, oldest first.
+  std::vector<obs::TtfTraceEntry> ttf_trace() const;
+
+  /// Worker `i`'s DRed store, or nullptr when DRed is disabled. Workers
+  /// mutate their DReds concurrently: only read this after stop() or
+  /// while the data plane is otherwise quiescent (tests, post-mortems).
+  const engine::DredStore* dred(std::size_t worker) const {
+    return workers_[worker]->dred.get();
+  }
 
  private:
   struct Job {
@@ -174,18 +248,6 @@ class LookupRuntime {
     std::uint64_t version = 0;
   };
 
-  struct alignas(64) WorkerStats {
-    std::atomic<std::uint64_t> jobs{0};
-    std::atomic<std::uint64_t> home_lookups{0};
-    std::atomic<std::uint64_t> dred_lookups{0};
-    std::atomic<std::uint64_t> dred_hits{0};
-    std::atomic<std::uint64_t> miss_returns{0};
-    std::atomic<std::uint64_t> fills_sent{0};
-    std::atomic<std::uint64_t> fills_applied{0};
-    std::atomic<std::uint64_t> fills_dropped_full{0};
-    std::atomic<std::uint64_t> fills_dropped_stale{0};
-  };
-
   struct Worker {
     std::unique_ptr<SpscRing<Job>> jobs;
     std::unique_ptr<SpscRing<Completion>> completions;
@@ -196,12 +258,17 @@ class LookupRuntime {
     std::atomic<std::uint64_t> published_version{0};
     std::atomic<std::uint64_t> control_applied{0};
     std::unique_ptr<engine::DredStore> dred;
-    WorkerStats stats;
+    obs::CounterBlock<WorkerCounter> counters;
+    obs::LatencyHistogram service_hist;
+    /// Worker-private job count for the sampling decision — plain (not
+    /// atomic) because only the owning thread reads or writes it.
+    std::uint64_t jobs_seen = 0;
     std::thread thread;
   };
 
   void worker_main(std::size_t w);
   Completion process(std::size_t w, const Job& job);
+  Completion process_job(std::size_t w, const Job& job);
   bool drain_control(std::size_t w);
   bool drain_fills(std::size_t w);
   void send_fills(std::size_t w, const Route& matched, std::uint64_t version);
@@ -226,10 +293,21 @@ class LookupRuntime {
   std::vector<std::uint64_t> control_pushed_;
   std::atomic<std::uint64_t> tables_published_{0};
 
-  // Client-thread counters (atomic only so metrics() can read them).
-  std::atomic<std::uint64_t> client_completed_{0};
-  std::atomic<std::uint64_t> client_diverted_{0};
-  std::atomic<std::uint64_t> client_backpressure_{0};
+  // Client-role observability (single writer: the client thread).
+  obs::CounterBlock<ClientCounter> client_counters_;
+  obs::LatencyHistogram client_hist_;
+  /// Client-private completion count for latency sampling — plain (not
+  /// atomic) because only the client thread touches it.
+  std::uint64_t client_samples_seen_ = 0;
+
+  // Control-role observability.
+  obs::TtfTraceRing ttf_ring_;
+
+  // Service-time sampling: jobs & sample_mask_ == 0 gets timed.
+  bool sample_enabled_ = false;
+  std::uint64_t sample_mask_ = 0;
+
+  std::mutex stop_mutex_;  // serialises the join in stop()
 };
 
 }  // namespace clue::runtime

@@ -49,10 +49,18 @@ double Histogram::bin_low(std::size_t bin) const {
 
 double Histogram::quantile(double q) const {
   if (total_ == 0) return low_;
-  const double target = q * static_cast<double>(total_);
-  double cumulative = 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank over bins: the upper edge of the bin holding the
+  // ceil(q*total)-th sample. q = 0 would otherwise always name the first
+  // bin (cumulative 0 >= target 0 even when the bin is empty); it means
+  // "the minimum", i.e. the lower edge of the first occupied bin.
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
   for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
-    cumulative += static_cast<double>(bins_[bin]);
+    if (bins_[bin] == 0) continue;
+    if (target == 0) return bin_low(bin);
+    cumulative += bins_[bin];
     if (cumulative >= target) return bin_low(bin) + width_;
   }
   return bin_low(bins_.size() - 1) + width_;
@@ -122,11 +130,21 @@ double Percentiles::quantile(double q) const {
     throw std::logic_error("Percentiles::quantile on empty set");
   }
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(samples_.size() - 1) + 0.5);
-  auto nth = samples_.begin() + static_cast<std::ptrdiff_t>(rank);
+  // Linear interpolation between order statistics (the numpy default):
+  // rank position q*(n-1) splits into a lower order statistic and a
+  // fractional weight on the next one. The old round-half-up rank picked
+  // a neighbouring sample — off by up to one whole sample at small n.
+  const double position = q * static_cast<double>(samples_.size() - 1);
+  const auto lower_rank = static_cast<std::size_t>(position);
+  auto nth = samples_.begin() + static_cast<std::ptrdiff_t>(lower_rank);
   std::nth_element(samples_.begin(), nth, samples_.end());
-  return *nth;
+  const double lower = *nth;
+  const double fraction = position - static_cast<double>(lower_rank);
+  if (fraction == 0.0 || lower_rank + 1 == samples_.size()) return lower;
+  // nth_element left the suffix all >= *nth; its minimum is the next
+  // order statistic.
+  const double upper = *std::min_element(nth + 1, samples_.end());
+  return lower + fraction * (upper - lower);
 }
 
 std::vector<double> polyfit(const std::vector<double>& xs,

@@ -43,7 +43,8 @@ class Histogram {
   double bin_low(std::size_t bin) const;
   std::uint64_t total() const { return total_; }
   /// Smallest value v such that at least `q` (0..1) of the mass is <= v
-  /// (bin upper edge approximation).
+  /// (bin upper edge approximation). q = 0 returns the lower edge of the
+  /// first occupied bin; an empty histogram returns `low`.
   double quantile(double q) const;
 
  private:
@@ -82,6 +83,11 @@ class TablePrinter {
   void add_row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
 
+  /// The assembled cells, so exporters (obs::MetricsRegistry tables) can
+  /// reuse a bench's display table without re-deriving it.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
@@ -94,7 +100,9 @@ class Percentiles {
  public:
   void add(double value) { samples_.push_back(value); }
   std::size_t count() const { return samples_.size(); }
-  /// Exact q-quantile (0 <= q <= 1) by rank; throws when empty.
+  /// Exact q-quantile (0 <= q <= 1) with linear interpolation between
+  /// order statistics; q=0 is the minimum, q=1 the maximum. Throws when
+  /// empty.
   double quantile(double q) const;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "partition/partition.hpp"
 
@@ -95,8 +96,10 @@ update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
         for (auto& dred : dreds_) {
           if (op.kind == onrtc::FibOpKind::kDelete) {
             dred->erase(piece);
-          } else if (dred->contains(piece)) {
-            dred->insert(Route{piece, op.route.next_hop});
+          } else {
+            // fix(): rewrite in place; a sync message must not promote
+            // the entry in LRU order.
+            dred->fix(Route{piece, op.route.next_hop});
           }
         }
         ++dred_ops;
@@ -139,6 +142,25 @@ std::size_t ClueSystem::total_tcam_entries() const {
   std::size_t total = 0;
   for (const auto& chip : chips_) total += chip->size();
   return total;
+}
+
+void ClueSystem::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.set_counter("system.routes", fib_.ground_truth().size());
+  registry.set_counter("system.compressed_routes", fib_.compressed().size());
+  registry.set_counter("system.tcam_entries", total_tcam_entries());
+  registry.set_counter("system.tcam_count", chips_.size());
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    const std::string prefix = "system.chip" + std::to_string(i);
+    registry.set_counter(prefix + ".entries", chips_[i]->size());
+    const auto& stats = dreds_[i]->stats();
+    registry.set_counter(prefix + ".dred.lookups", stats.lookups);
+    registry.set_counter(prefix + ".dred.hits", stats.hits);
+    registry.set_counter(prefix + ".dred.insertions", stats.insertions);
+    registry.set_counter(prefix + ".dred.updates", stats.updates);
+    registry.set_counter(prefix + ".dred.evictions", stats.evictions);
+    registry.set_counter(prefix + ".dred.erasures", stats.erasures);
+    registry.set_gauge(prefix + ".dred.hit_rate", stats.hit_rate());
+  }
 }
 
 }  // namespace clue::system

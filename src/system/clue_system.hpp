@@ -24,6 +24,7 @@
 #include "engine/dred.hpp"
 #include "engine/indexing_logic.hpp"
 #include "engine/parallel_engine.hpp"
+#include "obs/metrics_registry.hpp"
 #include "onrtc/compressed_fib.hpp"
 #include "runtime/lookup_runtime.hpp"
 #include "tcam/updater.hpp"
@@ -79,6 +80,11 @@ class ClueSystem {
   /// Total entries across chips (>= fib().size() when regions had to be
   /// split at partition boundaries).
   std::size_t total_tcam_entries() const;
+
+  /// Fills `registry` with table sizes and per-chip DRed statistics
+  /// ("system.chip<i>.dred.*" — hits, insertions vs. updates, evictions,
+  /// erasures — the fields the EXPERIMENTS.md hit-rate tables cite).
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   /// The chip index owning `address`.

@@ -120,6 +120,75 @@ TEST(DredStore, OverlappingFindsAncestorsAndDescendants) {
   EXPECT_EQ(overlapping[2], p("10.1.2.0/24"));
 }
 
+TEST(DredStore, ReinsertCountsAsUpdateNotInsertion) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_EQ(dred.stats().insertions, 1u);
+  EXPECT_EQ(dred.stats().updates, 0u);
+
+  // Same prefix, same hop: idempotent — an update, not growth.
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_EQ(dred.size(), 1u);
+  EXPECT_EQ(dred.stats().insertions, 1u);
+  EXPECT_EQ(dred.stats().updates, 1u);
+  EXPECT_TRUE(dred.invariants_ok());
+
+  // Same prefix, new hop: still an update, hop rewritten.
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(2)});
+  EXPECT_EQ(dred.size(), 1u);
+  EXPECT_EQ(dred.stats().insertions, 1u);
+  EXPECT_EQ(dred.stats().updates, 2u);
+  EXPECT_EQ(*dred.lookup(a("10.1.2.3")), make_next_hop(2));
+  EXPECT_TRUE(dred.invariants_ok());
+}
+
+TEST(DredStore, RepeatedReinsertKeepsIndexAndTrieInSync) {
+  // The original insert() unconditionally re-inserted into the match
+  // trie on the already-cached path; entries_ and match_ could drift.
+  DredStore dred(4);
+  for (int i = 0; i < 100; ++i) {
+    dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1 + (i % 3))});
+    ASSERT_TRUE(dred.invariants_ok()) << "iteration " << i;
+    ASSERT_EQ(dred.size(), 1u);
+  }
+  EXPECT_EQ(dred.stats().insertions, 1u);
+  EXPECT_EQ(dred.stats().updates, 99u);
+}
+
+TEST(DredStore, FixRewritesHopInPlace) {
+  DredStore dred(2);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_TRUE(dred.fix(Route{p("10.0.0.0/8"), make_next_hop(9)}));
+  EXPECT_EQ(*dred.lookup(a("10.0.0.1")), make_next_hop(9));
+  EXPECT_TRUE(dred.invariants_ok());
+}
+
+TEST(DredStore, FixDoesNotPromote) {
+  DredStore dred(2);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("11.0.0.0/8"), make_next_hop(2)});
+  // LRU order now: 11/8 (MRU), 10/8 (LRU). A control-plane fix of 10/8
+  // must leave 10/8 the eviction candidate (insert() would promote it).
+  EXPECT_TRUE(dred.fix(Route{p("10.0.0.0/8"), make_next_hop(9)}));
+
+  dred.insert(Route{p("12.0.0.0/8"), make_next_hop(3)});  // evicts the LRU
+  EXPECT_EQ(dred.stats().evictions, 1u);
+  EXPECT_FALSE(dred.contains(p("10.0.0.0/8")))
+      << "fix() promoted 10/8 over 11/8";
+  EXPECT_TRUE(dred.contains(p("11.0.0.0/8")));
+  EXPECT_TRUE(dred.contains(p("12.0.0.0/8")));
+  EXPECT_TRUE(dred.invariants_ok());
+}
+
+TEST(DredStore, FixOfUncachedPrefixIsRejected) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_FALSE(dred.fix(Route{p("11.0.0.0/8"), make_next_hop(2)}));
+  EXPECT_EQ(dred.size(), 1u);
+  EXPECT_EQ(dred.stats().insertions, 1u);
+  EXPECT_TRUE(dred.invariants_ok());
+}
+
 TEST(DredStore, EvictionKeepsMatchIndexConsistent) {
   Pcg32 rng(41);
   DredStore dred(8);

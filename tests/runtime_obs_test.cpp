@@ -1,0 +1,245 @@
+// LookupRuntime observability and shutdown-safety tests:
+//  - stop() unblocks a lookup_batch in flight on another thread (the
+//    backpressure-spin regression), counted in batches_aborted;
+//  - after churn quiesces, no DRed holds a stale route (the mid-fill
+//    publish race) and every store's structural invariants hold;
+//  - export_metrics() carries counters, per-worker service histograms,
+//    the client latency histogram, and the TTF trace.
+#include "runtime/lookup_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/dred.hpp"
+#include "netbase/rng.hpp"
+#include "obs/metrics_registry.hpp"
+#include "workload/rib_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace {
+
+using clue::netbase::Ipv4Address;
+using clue::netbase::Pcg32;
+using clue::runtime::LookupRuntime;
+using clue::runtime::RuntimeConfig;
+
+clue::trie::BinaryTrie make_fib(std::size_t routes, std::uint64_t seed) {
+  clue::workload::RibConfig config;
+  config.table_size = routes;
+  config.seed = seed;
+  return clue::workload::generate_rib(config);
+}
+
+std::vector<Ipv4Address> random_addresses(std::size_t count,
+                                          std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Ipv4Address> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.emplace_back(rng.next());
+  return out;
+}
+
+TEST(LookupRuntimeTest, StopUnblocksBatchInFlight) {
+  const auto fib = make_fib(10'000, 7001);
+  RuntimeConfig config;
+  config.worker_count = 1;
+  config.fifo_depth = 32;
+  LookupRuntime runtime(fib, config);
+
+  // A batch big enough that it is certainly still in flight when stop()
+  // lands. Before the stop-aware spin bound, this join never returned:
+  // the client spun on full rings whose consumer had exited.
+  const auto addresses = random_addresses(2'000'000, 7002);
+  std::vector<clue::netbase::NextHop> hops;
+  std::thread client([&] { hops = runtime.lookup_batch(addresses); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  runtime.stop();
+  client.join();
+
+  // Every address got a slot; the unanswered tail is kNoRoute.
+  ASSERT_EQ(hops.size(), addresses.size());
+  const auto metrics = runtime.metrics();
+  EXPECT_GE(metrics.batches_aborted, 1u);
+
+  // After stop(), further batches return immediately instead of hanging.
+  const auto after = runtime.lookup_batch(random_addresses(64, 7003));
+  EXPECT_EQ(after.size(), 64u);
+  EXPECT_TRUE(runtime.stopped());
+}
+
+TEST(LookupRuntimeTest, StopIsIdempotentAndDestructorSafe) {
+  const auto fib = make_fib(2'000, 7101);
+  RuntimeConfig config;
+  config.worker_count = 2;
+  LookupRuntime runtime(fib, config);
+  runtime.lookup_batch(random_addresses(1'000, 7102));
+  runtime.stop();
+  runtime.stop();  // second call is a no-op
+  EXPECT_TRUE(runtime.stopped());
+}
+
+TEST(LookupRuntimeTest, NoStaleDredRouteAfterChurnQuiesces) {
+  const auto fib = make_fib(20'000, 7201);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  config.fifo_depth = 16;      // force diversions -> DRed traffic
+  config.dred_capacity = 256;  // force evictions too
+  config.fill_depth = 32;      // keep fill rings small
+  LookupRuntime runtime(fib, config);
+
+  // Churn thread: a steady update stream racing the lookups below, so
+  // fills produced against version v regularly arrive after the home
+  // chip published v+1.
+  std::atomic<bool> done{false};
+  std::thread control([&] {
+    clue::workload::UpdateConfig update_config;
+    update_config.seed = 7202;
+    clue::workload::UpdateGenerator updates(fib, update_config);
+    for (int i = 0; i < 4'000; ++i) runtime.apply(updates.next());
+    done.store(true, std::memory_order_release);
+  });
+
+  Pcg32 rng(7203);
+  while (!done.load(std::memory_order_acquire)) {
+    std::vector<Ipv4Address> batch;
+    for (int i = 0; i < 4096; ++i) batch.emplace_back(rng.next());
+    runtime.lookup_batch(batch);
+  }
+  control.join();
+
+  // Quiesced: updates are fully applied (apply() waits for DRed acks).
+  // One more sweep must agree exactly with the final control plane.
+  const auto& truth = runtime.fib().ground_truth();
+  const auto sweep = random_addresses(20'000, 7204);
+  const auto hops = runtime.lookup_batch(sweep);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ASSERT_EQ(hops[i], truth.lookup(sweep[i]))
+        << "address " << sweep[i].to_string();
+  }
+
+  const auto metrics = runtime.metrics();
+  EXPECT_GT(metrics.diverted, 0u) << "test never exercised the DRed path";
+  EXPECT_GT(metrics.fills_sent, 0u);
+
+  // Workers joined: their DReds are now safe to inspect directly. Every
+  // cached route must carry the *current* next hop — a stale fill that
+  // slipped past the version check would sit here with an old hop.
+  runtime.stop();
+  for (std::size_t w = 0; w < runtime.worker_count(); ++w) {
+    // dred() is const; lookup() bumps LRU/stats, harmless post-stop.
+    auto* dred = const_cast<clue::engine::DredStore*>(runtime.dred(w));
+    ASSERT_NE(dred, nullptr);
+    EXPECT_TRUE(dred->invariants_ok());
+    for (const auto& prefix : dred->contents()) {
+      const auto cached = dred->lookup(prefix.range_low());
+      ASSERT_TRUE(cached.has_value());
+      EXPECT_EQ(*cached, truth.lookup(prefix.range_low()))
+          << "stale DRed route for " << prefix.to_string() << " on worker "
+          << w;
+    }
+  }
+}
+
+TEST(LookupRuntimeTest, ExportMetricsCarriesAllSections) {
+  const auto fib = make_fib(10'000, 7301);
+  RuntimeConfig config;
+  config.worker_count = 2;
+  config.latency_sample_every = 1;  // sample every job
+  LookupRuntime runtime(fib, config);
+
+  const auto addresses = random_addresses(8'192, 7302);
+  std::vector<double> latency_ns;
+  runtime.lookup_batch(addresses, &latency_ns);
+  EXPECT_EQ(latency_ns.size(), addresses.size());
+
+  // Apply until at least 20 updates took effect (no-op announcements
+  // record no trace).
+  clue::workload::UpdateConfig update_config;
+  update_config.seed = 7303;
+  clue::workload::UpdateGenerator updates(fib, update_config);
+  for (int i = 0; i < 1'000 && runtime.updates_completed() < 20; ++i) {
+    runtime.apply(updates.next());
+  }
+  ASSERT_GE(runtime.updates_completed(), 20u);
+
+  clue::obs::MetricsRegistry registry;
+  runtime.export_metrics(registry);
+
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : registry.counters()) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter("runtime.lookups_completed"), addresses.size());
+  EXPECT_EQ(counter("runtime.updates_applied"), runtime.updates_completed());
+
+  // Per-worker service histograms: with 1-in-1 sampling, the merged
+  // totals equal the jobs processed (>= lookups; misses re-enqueue).
+  std::uint64_t sampled = 0;
+  bool client_hist_seen = false;
+  for (const auto& [name, snap] : registry.histograms()) {
+    if (name.find(".service_ns") != std::string::npos) sampled += snap.total;
+    if (name == "runtime.client.latency_ns") {
+      client_hist_seen = true;
+      EXPECT_EQ(snap.total, addresses.size());
+      EXPECT_GT(snap.quantile_ns(0.5), 0.0);
+    }
+  }
+  EXPECT_GE(sampled, addresses.size());
+  EXPECT_TRUE(client_hist_seen);
+
+  // The TTF trace retains the most recent applies, oldest first, each
+  // with non-negative stage spans.
+  bool trace_seen = false;
+  for (const auto& [name, entries] : registry.ttf_traces()) {
+    if (name != "runtime.ttf") continue;
+    trace_seen = true;
+    ASSERT_FALSE(entries.empty());
+    EXPECT_LE(entries.size(), config.ttf_trace_depth);
+    EXPECT_EQ(entries.back().seq, runtime.updates_started());
+    for (const auto& e : entries) {
+      EXPECT_GE(e.ttf1_ns, 0.0);
+      EXPECT_GE(e.ttf2_ns, 0.0);
+      EXPECT_GE(e.ttf3_ns, 0.0);
+      EXPECT_LE(e.chips_touched, runtime.worker_count());
+    }
+  }
+  EXPECT_TRUE(trace_seen);
+
+  // A second export overwrites in place instead of duplicating names.
+  runtime.export_metrics(registry);
+  EXPECT_EQ(counter("runtime.lookups_completed"), addresses.size());
+}
+
+TEST(LookupRuntimeTest, RejectsBadSampleStride) {
+  const auto fib = make_fib(1'000, 7401);
+  RuntimeConfig config;
+  config.latency_sample_every = 48;  // not a power of two
+  EXPECT_THROW(LookupRuntime(fib, config), std::invalid_argument);
+}
+
+TEST(LookupRuntimeTest, TtfTraceDepthZeroDisablesTracing) {
+  const auto fib = make_fib(2'000, 7501);
+  RuntimeConfig config;
+  config.worker_count = 1;
+  config.ttf_trace_depth = 0;
+  LookupRuntime runtime(fib, config);
+  clue::workload::UpdateConfig update_config;
+  update_config.seed = 7502;
+  clue::workload::UpdateGenerator updates(fib, update_config);
+  for (int i = 0; i < 50; ++i) runtime.apply(updates.next());
+  EXPECT_TRUE(runtime.ttf_trace().empty());
+  EXPECT_EQ(runtime.metrics().updates_applied, runtime.updates_completed());
+  EXPECT_GT(runtime.updates_completed(), 0u);
+}
+
+}  // namespace

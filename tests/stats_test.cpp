@@ -66,6 +66,70 @@ TEST(Histogram, QuantileApproximation) {
   EXPECT_NEAR(histogram.quantile(0.99), 99.0, 1.5);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram histogram(0, 100, 100);
+  // Empty: every quantile degenerates to the range floor.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 0.0);
+
+  // Single sample: q=0 names its bin's lower edge, q>0 its upper edge.
+  histogram.add(42.5);  // bin [42, 43)
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 43.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 43.0);
+
+  // q=0 must find the first *occupied* bin, not bin 0.
+  Histogram sparse(0, 100, 100);
+  for (int i = 0; i < 10; ++i) sparse.add(90.5);
+  EXPECT_DOUBLE_EQ(sparse.quantile(0.0), 90.0);
+  EXPECT_DOUBLE_EQ(sparse.quantile(1.0), 91.0);
+
+  // Out-of-range q clamps instead of reading past the bins.
+  EXPECT_DOUBLE_EQ(sparse.quantile(-1.0), sparse.quantile(0.0));
+  EXPECT_DOUBLE_EQ(sparse.quantile(2.0), sparse.quantile(1.0));
+}
+
+TEST(Percentiles, ThrowsOnEmpty) {
+  Percentiles percentiles;
+  EXPECT_THROW(percentiles.quantile(0.5), std::logic_error);
+}
+
+TEST(Percentiles, SingleSampleIsEveryQuantile) {
+  Percentiles percentiles;
+  percentiles.add(7.5);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(1.0), 7.5);
+}
+
+TEST(Percentiles, MinAndMaxAtTheEnds) {
+  Percentiles percentiles;
+  for (const double v : {5.0, 1.0, 4.0, 2.0, 3.0}) percentiles.add(v);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(1.0), 5.0);
+  // Odd count: the median is the middle order statistic exactly.
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.5), 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenOrderStatistics) {
+  // numpy-style linear interpolation: the old round-half-up rank
+  // returned 3.0 here — off by half a sample.
+  Percentiles percentiles;
+  for (const double v : {4.0, 1.0, 3.0, 2.0}) percentiles.add(v);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(0.25), 1.75);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(Percentiles, ClampsOutOfRangeQ) {
+  Percentiles percentiles;
+  percentiles.add(1.0);
+  percentiles.add(2.0);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(-3.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentiles.quantile(42.0), 2.0);
+}
+
 TEST(TimeSeries, BucketsMeans) {
   TimeSeries series(3);
   for (const double value : {1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 5.0}) {
