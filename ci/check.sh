@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 suite in a plain build, then the same suite under
 # ASan+UBSan, then the concurrency tests (SPSC ring, epoch domain,
-# runtime stress, observability counters/histograms) under TSan, then a
-# metrics-exporter smoke run (a small bench_runtime_throughput whose
-# JSON export must parse). Any data race, leak, UB, or test failure
-# fails the script.
+# runtime stress, rebalancer, observability counters/histograms) under
+# TSan, then a metrics-exporter smoke run (a small
+# bench_runtime_throughput whose JSON export must parse), then the
+# churn-soak: the rebalancer soak test rerun at CLUE_SOAK_UPDATES
+# updates (default 500000) of sustained hot-/8 churn. Any data race,
+# leak, UB, or test failure fails the script.
 #
-#   $ ci/check.sh            # all four stages
+#   $ ci/check.sh            # all five stages
 #   $ ci/check.sh plain      # just the plain tier-1 run
 #   $ ci/check.sh asan       # just ASan+UBSan
 #   $ ci/check.sh tsan       # just TSan concurrency stage
 #   $ ci/check.sh smoke      # just the metrics-exporter smoke run
+#   $ ci/check.sh soak       # just the churn-soak
+#   $ CLUE_SOAK_UPDATES=100000 ci/check.sh soak   # bounded soak
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,9 +43,12 @@ run_asan() {
 run_tsan() {
   echo "=== stage: TSan concurrency ==="
   configure_and_build build-tsan thread
+  # The soak test runs here too, shortened: TSan is ~10x, so a bounded
+  # update count still soaks the migration protocol for races.
+  CLUE_SOAK_UPDATES="${CLUE_TSAN_SOAK_UPDATES:-5000}" \
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest'
+      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest|RebalancePlannerTest|RebalanceTest|RebalanceSoakTest'
 }
 
 run_smoke() {
@@ -78,19 +85,29 @@ EOF
   echo "smoke: exporter output OK"
 }
 
+run_soak() {
+  echo "=== stage: churn-soak (${CLUE_SOAK_UPDATES:-500000} updates) ==="
+  configure_and_build build ""
+  CLUE_SOAK_UPDATES="${CLUE_SOAK_UPDATES:-500000}" \
+    ctest --test-dir build --output-on-failure \
+      -R 'RebalanceSoakTest'
+}
+
 case "$STAGE" in
   plain) run_plain ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
   smoke) run_smoke ;;
+  soak) run_soak ;;
   all)
     run_plain
     run_asan
     run_tsan
     run_smoke
+    run_soak
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|smoke|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|smoke|soak|all]" >&2
     exit 2
     ;;
 esac

@@ -87,7 +87,10 @@ void json_ttf_entry(std::ostream& os, const TtfTraceEntry& e) {
      << ",\"queue_depth_max\":" << e.queue_depth_max
      << ",\"queue_depth_mean\":";
   json_number(os, e.queue_depth_mean);
-  os << '}';
+  os << ",\"rebalance_ns\":";
+  json_number(os, e.rebalance_ns);
+  os << ",\"rebalance_steps\":" << e.rebalance_steps
+     << ",\"entries_migrated\":" << e.entries_migrated << '}';
 }
 
 }  // namespace

@@ -32,6 +32,9 @@ struct TtfTraceEntry {
   std::uint32_t control_msgs = 0;     ///< DRed erase/fix messages sent
   std::uint32_t queue_depth_max = 0;  ///< deepest job ring at apply() entry
   double queue_depth_mean = 0;        ///< mean job-ring depth at apply() entry
+  double rebalance_ns = 0;            ///< boundary-rebalance span (0 = none)
+  std::uint32_t rebalance_steps = 0;  ///< migrations run by this update
+  std::uint32_t entries_migrated = 0; ///< entries those migrations moved
 
   double total_ns() const { return ttf1_ns + ttf2_ns + ttf3_ns; }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace clue::runtime {
 
@@ -58,6 +59,24 @@ std::size_t EpochDomain::reclaim() {
   retired_.erase(keep, retired_.end());
   reclaimed_.fetch_add(freed, std::memory_order_acq_rel);
   return freed;
+}
+
+void EpochDomain::synchronize() {
+  std::uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    target = global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+  for (const auto& slot : slots_) {
+    // A slot pinned below `target` was pinned before the advance and may
+    // still be reading pre-advance state; wait it out. Slots re-pinned at
+    // >= target can only see post-advance pointers, so they don't block.
+    while (true) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e == kIdle || e >= target) break;
+      std::this_thread::yield();
+    }
+  }
 }
 
 std::size_t EpochDomain::pending() const {

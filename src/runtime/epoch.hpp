@@ -81,6 +81,14 @@ class EpochDomain {
   /// Returns how many were freed this call.
   std::size_t reclaim();
 
+  /// Grace-period barrier: advances the global epoch and spins until
+  /// every reader slot is idle or pinned at the new epoch (or later).
+  /// On return, no reader critical section that began before the call
+  /// is still running — anything the caller unpublished beforehand is
+  /// invisible. Writer-side only; never call from a reader thread that
+  /// holds a pin on this domain (it would wait on itself).
+  void synchronize();
+
   /// Total objects freed so far — the destruction counter the
   /// reclamation tests assert on.
   std::uint64_t reclaimed() const {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "engine/dispatch_policy.hpp"
 #include "partition/partition.hpp"
+#include "tcam/updater.hpp"
 
 namespace clue::runtime {
 
@@ -32,7 +34,11 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
                              const RuntimeConfig& config)
     : config_(config),
       fib_(fib),
-      epoch_(config.worker_count == 0 ? 1 : config.worker_count),
+      // One slot per worker plus one for the client role, which pins the
+      // IndexingLogic snapshot during each dispatch pass.
+      epoch_(config.worker_count + 1),
+      planner_(config.rebalance),
+      client_slot_(config.worker_count),
       ttf_ring_(config.ttf_trace_depth) {
   if (config.worker_count == 0) {
     throw std::invalid_argument("LookupRuntime: need at least one worker");
@@ -56,8 +62,22 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
       partition::even_partition_boundaries(table, config.worker_count);
   std::vector<std::size_t> identity(config.worker_count);
   for (std::size_t i = 0; i < config.worker_count; ++i) identity[i] = i;
-  indexing_ =
-      std::make_unique<engine::IndexingLogic>(boundaries_, identity);
+  indexing_.store(new engine::IndexingLogic(boundaries_, identity),
+                  std::memory_order_seq_cst);
+
+  if (config.chip_capacity > 0) {
+    chip_capacity_ = config.chip_capacity;
+  } else {
+    const double headroom = std::max(config.chip_headroom, 0.0);
+    const std::size_t per_chip = table.size() / config.worker_count + 1;
+    chip_capacity_ = static_cast<std::size_t>(
+                         static_cast<double>(per_chip) * (1.0 + headroom)) +
+                     8192;
+  }
+  if (partitions.max_bucket() > chip_capacity_) {
+    throw std::invalid_argument(
+        "LookupRuntime: chip_capacity smaller than the initial even share");
+  }
 
   control_pushed_.assign(config.worker_count, 0);
   workers_.reserve(config.worker_count);
@@ -82,6 +102,8 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
     for (const auto& route : partitions.buckets[i].routes) {
       initial->table.insert(route.prefix, route.next_hop);
     }
+    worker->occupancy.store(initial->table.size(),
+                            std::memory_order_relaxed);
     worker->active.store(initial, std::memory_order_seq_cst);
     workers_.push_back(std::move(worker));
   }
@@ -103,6 +125,7 @@ LookupRuntime::~LookupRuntime() {
   for (auto& worker : workers_) {
     delete worker->active.load(std::memory_order_relaxed);
   }
+  delete indexing_.load(std::memory_order_relaxed);
   // epoch_'s destructor frees any still-retired versions.
 }
 
@@ -171,12 +194,12 @@ LookupRuntime::Completion LookupRuntime::process_job(std::size_t w,
     const auto hop = me.dred->lookup(job.address);
     if (hop) {
       me.counters.add(WorkerCounter::kDredHits);
-      return Completion{job.index, *hop, false};
+      return Completion{job.index, *hop, false, job.gen};
     }
     // Miss: the client re-enqueues at the home chip (the runtime's
     // version of the engine's beyond-FIFO-bound return acceptance).
     me.counters.add(WorkerCounter::kMissReturns);
-    return Completion{job.index, netbase::kNoRoute, true};
+    return Completion{job.index, netbase::kNoRoute, true, job.gen};
   }
   me.counters.add(WorkerCounter::kHomeLookups);
   std::optional<Route> matched;
@@ -189,9 +212,9 @@ LookupRuntime::Completion LookupRuntime::process_job(std::size_t w,
     matched = table->table.lookup_route(job.address);
     version = table->version;
   }
-  if (!matched) return Completion{job.index, netbase::kNoRoute, false};
+  if (!matched) return Completion{job.index, netbase::kNoRoute, false, job.gen};
   if (dred_enabled_) send_fills(w, *matched, version);
-  return Completion{job.index, matched->next_hop, false};
+  return Completion{job.index, matched->next_hop, false, job.gen};
 }
 
 bool LookupRuntime::drain_control(std::size_t w) {
@@ -200,7 +223,9 @@ bool LookupRuntime::drain_control(std::size_t w) {
   bool any = false;
   while (me.control->try_pop(msg)) {
     any = true;
-    if (me.dred) {
+    if (msg.kind == ControlMsg::Kind::kFence) {
+      drain_own_jobs(w);
+    } else if (me.dred) {
       if (msg.kind == ControlMsg::Kind::kErase) {
         me.dred->erase(msg.route.prefix);
       } else {
@@ -214,6 +239,25 @@ bool LookupRuntime::drain_control(std::size_t w) {
   return any;
 }
 
+void LookupRuntime::drain_own_jobs(std::size_t w) {
+  Worker& me = *workers_[w];
+  Job job;
+  std::size_t drained = 0;
+  // Capacity-bounded: the jobs the fence must flush were enqueued before
+  // the indexing republish and number at most one ring's worth; anything
+  // pushed behind them was routed by the new indexing and is safe
+  // against any table version, so there is no need to chase the ring
+  // while the client keeps refilling it.
+  while (drained < config_.fifo_depth && me.jobs->try_pop(job)) {
+    ++drained;
+    const Completion done = process(w, job);
+    while (!me.completions->try_push(done)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      cpu_relax();
+    }
+  }
+}
+
 bool LookupRuntime::drain_fills(std::size_t w) {
   Worker& me = *workers_[w];
   bool any = false;
@@ -223,7 +267,8 @@ bool LookupRuntime::drain_fills(std::size_t w) {
     while (me.fills[peer]->try_pop(msg)) {
       any = true;
       // Staleness guard: if the home chip republished since this fill
-      // was produced, the route may no longer exist — drop rather than
+      // was produced, the route may no longer exist (updates, or a
+      // migration that moved it off that chip) — drop rather than
       // poison the cache (a fresh hit will re-fill).
       const std::uint64_t current =
           workers_[msg.home]->published_version.load(
@@ -255,9 +300,10 @@ void LookupRuntime::send_fills(std::size_t w, const Route& matched,
 
 // ----------------------------------------------------------------- client
 
-bool LookupRuntime::try_submit(Ipv4Address address, std::uint32_t index) {
-  const std::size_t home = indexing_->tcam_of(address);
-  if (workers_[home]->jobs->try_push(Job{address, index, false})) {
+bool LookupRuntime::try_submit(const engine::IndexingLogic& indexing,
+                               Ipv4Address address, std::uint32_t index) {
+  const std::size_t home = indexing.tcam_of(address);
+  if (workers_[home]->jobs->try_push(Job{address, index, false, batch_gen_})) {
     return true;
   }
   if (!dred_enabled_) return false;  // nowhere useful to divert
@@ -270,10 +316,11 @@ bool LookupRuntime::try_submit(Ipv4Address address, std::uint32_t index) {
   switch (decision.action) {
     case engine::DispatchDecision::Action::kHome:
       // The home ring drained between our push and the scan; retry it.
-      return workers_[home]->jobs->try_push(Job{address, index, false});
+      return workers_[home]->jobs->try_push(
+          Job{address, index, false, batch_gen_});
     case engine::DispatchDecision::Action::kDivert:
       if (workers_[decision.chip]->jobs->try_push(
-              Job{address, index, true})) {
+              Job{address, index, true, batch_gen_})) {
         client_counters_.add(ClientCounter::kDiverted);
         return true;
       }
@@ -288,6 +335,10 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
     std::span<const Ipv4Address> addresses,
     std::vector<double>* latency_ns) {
   std::vector<NextHop> results(addresses.size(), netbase::kNoRoute);
+  // New generation: completions stranded in the rings by an aborted
+  // earlier batch carry a stale gen and are dropped on drain below
+  // instead of being written through a differently-sized results vector.
+  const std::uint32_t gen = ++batch_gen_;
   std::vector<Clock::time_point> submitted;
   if (latency_ns) {
     latency_ns->assign(addresses.size(), 0.0);
@@ -303,27 +354,37 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
   bool stall_recorded = false;
   while (next < addresses.size() || outstanding > 0) {
     bool progress = false;
-    // Returned misses first: they are the oldest jobs in flight.
-    for (std::size_t i = 0; i < returns.size();) {
-      const std::size_t home = indexing_->tcam_of(returns[i].address);
-      if (workers_[home]->jobs->try_push(returns[i])) {
-        returns[i] = returns.back();
-        returns.pop_back();
+    {
+      // Dispatch pass: pin the epoch so the IndexingLogic snapshot we
+      // route by cannot be freed under us by a concurrent rebalance.
+      // Re-read every pass — after publish_indexing's grace period the
+      // control plane may rely on no older snapshot being in use.
+      EpochDomain::Guard guard(epoch_, client_slot_);
+      const engine::IndexingLogic& indexing =
+          *indexing_.load(std::memory_order_seq_cst);
+      // Returned misses first: they are the oldest jobs in flight.
+      for (std::size_t i = 0; i < returns.size();) {
+        const std::size_t home = indexing.tcam_of(returns[i].address);
+        if (workers_[home]->jobs->try_push(returns[i])) {
+          returns[i] = returns.back();
+          returns.pop_back();
+          progress = true;
+        } else {
+          ++i;
+        }
+      }
+      // Fresh submissions until backpressure.
+      while (next < addresses.size()) {
+        if (!try_submit(indexing, addresses[next],
+                        static_cast<std::uint32_t>(next))) {
+          client_counters_.add(ClientCounter::kBackpressureWaits);
+          break;
+        }
+        if (latency_ns) submitted[next] = Clock::now();
+        ++next;
+        ++outstanding;
         progress = true;
-      } else {
-        ++i;
       }
-    }
-    // Fresh submissions until backpressure.
-    while (next < addresses.size()) {
-      if (!try_submit(addresses[next], static_cast<std::uint32_t>(next))) {
-        client_counters_.add(ClientCounter::kBackpressureWaits);
-        break;
-      }
-      if (latency_ns) submitted[next] = Clock::now();
-      ++next;
-      ++outstanding;
-      progress = true;
     }
     // Completion drain + reorder stage: results land at their
     // submission index regardless of which chip answered when.
@@ -331,8 +392,10 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
     for (auto& worker : workers_) {
       while (worker->completions->try_pop(done)) {
         progress = true;
+        if (done.gen != gen) continue;  // stranded by an aborted batch
         if (done.miss_return) {
-          returns.push_back(Job{addresses[done.index], done.index, false});
+          returns.push_back(
+              Job{addresses[done.index], done.index, false, gen});
         } else {
           results[done.index] = done.hop;
           if (latency_ns) {
@@ -384,9 +447,190 @@ NextHop LookupRuntime::lookup(Ipv4Address address) {
 
 // ---------------------------------------------------------------- control
 
+void LookupRuntime::publish_table(std::size_t chip, ChipTable* next) {
+  Worker& worker = *workers_[chip];
+  ChipTable* old = worker.active.load(std::memory_order_relaxed);
+  worker.active.store(next, std::memory_order_seq_cst);
+  worker.published_version.store(next->version, std::memory_order_seq_cst);
+  worker.occupancy.store(next->table.size(), std::memory_order_release);
+  epoch_.retire(old);
+  tables_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LookupRuntime::publish_indexing() {
+  std::vector<std::size_t> identity(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) identity[i] = i;
+  auto* next = new engine::IndexingLogic(boundaries_, identity);
+  engine::IndexingLogic* old =
+      indexing_.exchange(next, std::memory_order_seq_cst);
+  epoch_.retire(old);
+  // The retired indexing shares the epoch domain's reclaim accounting
+  // with chip tables, so it must count as a published version too or
+  // the reclaimed == published quiescence invariant breaks.
+  tables_published_.fetch_add(1, std::memory_order_relaxed);
+  // Grace period: once this returns, every dispatch pass routes by the
+  // new boundaries — the migration protocol can fence the donor knowing
+  // no more old-homed jobs will arrive behind the fence.
+  epoch_.synchronize();
+}
+
+void LookupRuntime::push_control(std::size_t chip, const ControlMsg& msg) {
+  Worker& worker = *workers_[chip];
+  while (!worker.control->try_push(msg)) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::this_thread::yield();
+  }
+  ++control_pushed_[chip];
+}
+
+void LookupRuntime::wait_control_ack(std::size_t chip) {
+  Worker& worker = *workers_[chip];
+  unsigned spins = 0;
+  while (worker.control_applied.load(std::memory_order_acquire) <
+         control_pushed_[chip]) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (++spins < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::vector<std::size_t> LookupRuntime::occupancy_snapshot() const {
+  std::vector<std::size_t> occupancy(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    occupancy[i] = workers_[i]->occupancy.load(std::memory_order_acquire);
+  }
+  return occupancy;
+}
+
+std::vector<std::size_t> LookupRuntime::chip_occupancy() const {
+  return occupancy_snapshot();
+}
+
+double LookupRuntime::skew() const {
+  const auto occupancy = occupancy_snapshot();
+  return RebalancePlanner::skew(occupancy);
+}
+
+std::size_t LookupRuntime::migrate(const MigrationStep& step) {
+  Worker& donor = *workers_[step.donor];
+  ChipTable* donor_old = donor.active.load(std::memory_order_relaxed);
+  const std::vector<Route> donor_routes = donor_old->table.routes();
+  if (donor_routes.empty()) return 0;
+  const bool rightward = step.receiver == step.donor + 1;
+  std::size_t count = std::min(step.count, donor_routes.size());
+  // A leftward donor keeps its top entry so its upper boundary stays at
+  // a real stored address (the planner enforces this too; re-clamp in
+  // case occupancy moved between planning and execution).
+  if (!rightward) count = std::min(count, donor_routes.size() - 1);
+  if (count == 0) return 0;
+
+  // routes() is address-sorted, so the boundary-adjacent run is the top
+  // `count` routes for a rightward move, the bottom `count` leftward.
+  const std::size_t first = rightward ? donor_routes.size() - count : 0;
+  const std::span<const Route> migrated(donor_routes.data() + first, count);
+
+  // 1. Publish the receiver's table with the migrated routes added.
+  //    Both chips now store them, but the indexing still homes their
+  //    addresses to the donor, whose table is untouched — every lookup
+  //    answer is unchanged.
+  {
+    Worker& receiver = *workers_[step.receiver];
+    ChipTable* old = receiver.active.load(std::memory_order_relaxed);
+    auto* next = new ChipTable{old->table, old->version + 1};
+    for (const auto& route : migrated) {
+      next->table.insert(route.prefix, route.next_hop);
+    }
+    publish_table(step.receiver, next);
+  }
+
+  // 2. Move the shared boundary and wait out the grace period: after
+  //    this, every dispatch routes migrated addresses to the receiver
+  //    (whose table already answers them).
+  const std::size_t boundary = rightward ? step.donor : step.receiver;
+  boundaries_[boundary] =
+      rightward ? migrated.front().prefix.range_low()
+                : donor_routes[count].prefix.range_low();
+  publish_indexing();
+
+  // 3. Fence the donor: jobs that reached its ring under the old
+  //    indexing are answered from its still-fat table before it shrinks
+  //    (the fat table is a superset, so post-swap donor jobs drained
+  //    alongside them get identical answers).
+  push_control(step.donor, ControlMsg{ControlMsg::Kind::kFence, Route{}});
+  wait_control_ack(step.donor);
+
+  // 4. Shrink the donor. The version bump also staleness-kills every
+  //    in-flight DRed fill the donor produced for a migrated route, so
+  //    none can sneak into the receiver's DRed after step 5's sweep.
+  {
+    ChipTable* old = donor.active.load(std::memory_order_relaxed);
+    auto* next = new ChipTable{old->table, old->version + 1};
+    for (const auto& route : migrated) next->table.erase(route.prefix);
+    publish_table(step.donor, next);
+  }
+
+  // 5. Re-home DRed state: the migrated prefixes are now the receiver's
+  //    *own*, so its DRed must drop them or the exclusion invariant
+  //    ("DRed i never stores chip i's prefixes") dies. Other chips'
+  //    DReds may keep them — the route, and thus the answer, did not
+  //    change, and they remain foreign prefixes there.
+  if (dred_enabled_) {
+    for (const auto& route : migrated) {
+      push_control(step.receiver,
+                   ControlMsg{ControlMsg::Kind::kErase, route});
+    }
+    wait_control_ack(step.receiver);
+  }
+  epoch_.reclaim();
+  return count;
+}
+
+std::size_t LookupRuntime::rebalance_pass() {
+  const auto t0 = Clock::now();
+  std::size_t steps = 0;
+  while (steps < planner_.config().max_steps_per_pass &&
+         !stop_.load(std::memory_order_acquire)) {
+    const auto occupancy = occupancy_snapshot();
+    const auto step = planner_.plan_step(occupancy);
+    if (!step) break;
+    const std::size_t moved = migrate(*step);
+    if (moved == 0) break;  // nothing executable despite the plan
+    entries_migrated_.fetch_add(moved, std::memory_order_relaxed);
+    rebalance_steps_.fetch_add(1, std::memory_order_relaxed);
+    ++steps;
+  }
+  if (steps > 0) {
+    rebalance_passes_.fetch_add(1, std::memory_order_relaxed);
+    rebalance_hist_.record(elapsed_ns(t0));
+  }
+  return steps;
+}
+
+std::size_t LookupRuntime::rebalance_now() { return rebalance_pass(); }
+
+void LookupRuntime::rollback_update(const workload::UpdateMsg& message,
+                                    const std::optional<NextHop>& prior) {
+  // Invert the ground-truth mutation so trie, chips, and DReds agree
+  // again: none of the data plane saw the rejected diff.
+  if (prior) {
+    fib_.announce(message.prefix, *prior);
+  } else if (message.kind == workload::UpdateKind::kAnnounce) {
+    fib_.withdraw(message.prefix);
+  }
+  // A withdraw of an absent prefix yields an empty diff and never
+  // reaches admission, so there is no fourth case.
+}
+
 update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   update::TtfSample sample;
   const auto t0 = Clock::now();
+  // The exact prior route (if any) is the rollback token for a rejected
+  // admission; capture it before the diff mutates the ground truth.
+  const std::optional<NextHop> prior =
+      fib_.ground_truth().find(message.prefix);
   const auto ops =
       message.kind == workload::UpdateKind::kAnnounce
           ? fib_.announce(message.prefix, message.next_hop)
@@ -395,7 +639,6 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   if (ops.empty()) return sample;
 
   obs::TtfTraceEntry trace;
-  trace.seq = updates_started_.fetch_add(1, std::memory_order_seq_cst) + 1;
   trace.ttf1_ns = sample.ttf1_ns;
   // Queue-depth sample: how hard the data plane was running when this
   // update cut in (correlates TTF tails with lookup pressure).
@@ -409,47 +652,125 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   trace.queue_depth_mean = static_cast<double>(depth_sum) /
                            static_cast<double>(workers_.size());
 
-  // --- TTF2: shadow copy, piece ops, one pointer swap per chip. ------
+  // --- TTF2: shadow copies, admission control, atomic publishes. -----
   const auto t1 = Clock::now();
-  std::vector<std::vector<std::pair<onrtc::FibOpKind, Route>>> per_chip(
-      workers_.size());
+  std::vector<ChipTable*> shadows(workers_.size(), nullptr);
   std::vector<ControlMsg> broadcast;
-  for (const auto& op : ops) {
-    for (const auto& [chip, piece] :
-         engine::split_at_boundaries(op.route.prefix, boundaries_)) {
-      per_chip[chip].emplace_back(op.kind,
-                                  Route{piece, op.route.next_hop});
-      // DRed synchronisation (§IV-C): deletes and modifies broadcast to
-      // every DRed; inserts need nothing.
-      if (op.kind != onrtc::FibOpKind::kInsert) {
-        broadcast.push_back(
-            ControlMsg{op.kind == onrtc::FibOpKind::kDelete
-                           ? ControlMsg::Kind::kErase
-                           : ControlMsg::Kind::kFix,
-                       Route{piece, op.route.next_hop}});
+
+  // Builds every affected chip's shadow at the *current* boundaries.
+  // Inserts split fresh; deletes/modifies instead range-query the chip
+  // for its *stored* shapes — after a boundary migration the pieces
+  // stored at insert time no longer match a fresh split, and an exact-
+  // prefix erase of recomputed pieces would strand entries. The DRed
+  // broadcast uses the same stored shapes, because DRed fills only ever
+  // carry stored shapes.
+  const auto build_shadows = [&] {
+    std::vector<std::vector<std::pair<onrtc::FibOpKind, Route>>> per_chip(
+        workers_.size());
+    for (const auto& op : ops) {
+      if (op.kind == onrtc::FibOpKind::kInsert) {
+        for (const auto& [chip, piece] :
+             engine::split_at_boundaries(op.route.prefix, boundaries_)) {
+          per_chip[chip].emplace_back(op.kind,
+                                      Route{piece, op.route.next_hop});
+        }
+      } else {
+        // Every stored shape of the region lies on a chip whose current
+        // range intersects it; split only enumerates those chips.
+        std::size_t last_chip = ~std::size_t{0};
+        for (const auto& [chip, piece] :
+             engine::split_at_boundaries(op.route.prefix, boundaries_)) {
+          if (chip == last_chip) continue;
+          last_chip = chip;
+          per_chip[chip].emplace_back(op.kind, op.route);
+        }
       }
+    }
+    for (std::size_t chip = 0; chip < workers_.size(); ++chip) {
+      if (per_chip[chip].empty()) continue;
+      // The control thread is the only writer, so reading the active
+      // version without a guard is safe; workers only ever read it.
+      ChipTable* old = workers_[chip]->active.load(std::memory_order_relaxed);
+      auto* next = new ChipTable{old->table, old->version + 1};
+      for (const auto& [kind, route] : per_chip[chip]) {
+        switch (kind) {
+          case onrtc::FibOpKind::kInsert:
+            next->table.insert(route.prefix, route.next_hop);
+            break;
+          case onrtc::FibOpKind::kDelete:
+            for (const auto& stored :
+                 next->table.routes_within(route.prefix)) {
+              next->table.erase(stored.prefix);
+              broadcast.push_back(
+                  ControlMsg{ControlMsg::Kind::kErase, stored});
+            }
+            break;
+          case onrtc::FibOpKind::kModify:
+            for (const auto& stored :
+                 next->table.routes_within(route.prefix)) {
+              next->table.insert(stored.prefix, route.next_hop);
+              broadcast.push_back(
+                  ControlMsg{ControlMsg::Kind::kFix,
+                             Route{stored.prefix, route.next_hop}});
+            }
+            break;
+        }
+      }
+      shadows[chip] = next;
+    }
+  };
+  const auto discard_shadows = [&] {
+    for (auto*& shadow : shadows) {
+      delete shadow;
+      shadow = nullptr;
+    }
+    broadcast.clear();
+  };
+
+  // Admission loop: a shadow that exceeds the chip capacity triggers one
+  // emergency rebalance (which frees headroom by evening out occupancy)
+  // and a rebuild at the new boundaries; if even the balanced layout
+  // cannot absorb the update, roll the trie back and reject.
+  constexpr int kAdmissionAttempts = 2;
+  for (int attempt = 0;; ++attempt) {
+    build_shadows();
+    bool fits = true;
+    for (const auto* shadow : shadows) {
+      if (shadow && shadow->table.size() > chip_capacity_) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) break;
+    discard_shadows();
+    std::size_t moved_steps = 0;
+    if (planner_.config().enabled && attempt + 1 < kAdmissionAttempts) {
+      const auto rb0 = Clock::now();
+      const std::uint64_t entries_before =
+          entries_migrated_.load(std::memory_order_relaxed);
+      moved_steps = rebalance_pass();
+      trace.rebalance_steps += static_cast<std::uint32_t>(moved_steps);
+      trace.entries_migrated += static_cast<std::uint32_t>(
+          entries_migrated_.load(std::memory_order_relaxed) - entries_before);
+      trace.rebalance_ns += elapsed_ns(rb0);
+    }
+    if (moved_steps == 0) {
+      rollback_update(message, prior);
+      updates_rejected_.fetch_add(1, std::memory_order_seq_cst);
+      throw tcam::TcamFullError("LookupRuntime::apply", chip_capacity_);
     }
   }
+
+  // Admission passed: from here the update publishes. Any lookup answer
+  // ever produced stays within the [updates_completed before submit,
+  // updates_started after completion] oracle window — rejected updates
+  // never bump either counter, and migrations never change answers.
+  trace.seq = updates_started_.fetch_add(1, std::memory_order_seq_cst) + 1;
   for (std::size_t chip = 0; chip < workers_.size(); ++chip) {
-    if (per_chip[chip].empty()) continue;
+    if (!shadows[chip]) continue;
     ++trace.chips_touched;
-    Worker& worker = *workers_[chip];
-    // The control thread is the only writer, so reading the active
-    // version without a guard is safe; workers only ever read it.
-    ChipTable* old = worker.active.load(std::memory_order_relaxed);
-    auto* next = new ChipTable{old->table, old->version + 1};
-    for (const auto& [kind, route] : per_chip[chip]) {
-      if (kind == onrtc::FibOpKind::kDelete) {
-        next->table.erase(route.prefix);
-      } else {
-        next->table.insert(route.prefix, route.next_hop);
-      }
-    }
-    worker.active.store(next, std::memory_order_seq_cst);
-    worker.published_version.store(next->version,
-                                   std::memory_order_seq_cst);
-    epoch_.retire(old);
-    tables_published_.fetch_add(1, std::memory_order_relaxed);
+    publish_table(chip, shadows[chip]);
+    shadows[chip] = nullptr;
   }
   sample.ttf2_ns = elapsed_ns(t1);
 
@@ -459,29 +780,29 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
     trace.control_msgs =
         static_cast<std::uint32_t>(broadcast.size() * workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      Worker& worker = *workers_[i];
-      for (const auto& msg : broadcast) {
-        while (!worker.control->try_push(msg)) std::this_thread::yield();
-        ++control_pushed_[i];
-      }
+      for (const auto& msg : broadcast) push_control(i, msg);
     }
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-      Worker& worker = *workers_[i];
-      unsigned spins = 0;
-      while (worker.control_applied.load(std::memory_order_acquire) <
-             control_pushed_[i]) {
-        if (++spins < 64) {
-          cpu_relax();
-        } else {
-          std::this_thread::yield();
-        }
-      }
-    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) wait_control_ack(i);
   }
   sample.ttf3_ns = elapsed_ns(t2);
 
   updates_completed_.fetch_add(1, std::memory_order_seq_cst);
   epoch_.reclaim();
+
+  // Drift watch (the rebalancer's steady-state trigger): occupancy just
+  // changed, so re-check the watermarks and even out while the skew is
+  // still small — many cheap migrations beat one giant one.
+  if (planner_.should_rebalance(occupancy_snapshot(), chip_capacity_)) {
+    const auto rb0 = Clock::now();
+    const std::uint64_t entries_before =
+        entries_migrated_.load(std::memory_order_relaxed);
+    trace.rebalance_steps +=
+        static_cast<std::uint32_t>(rebalance_pass());
+    trace.entries_migrated += static_cast<std::uint32_t>(
+        entries_migrated_.load(std::memory_order_relaxed) - entries_before);
+    trace.rebalance_ns += elapsed_ns(rb0);
+  }
+
   trace.ttf2_ns = sample.ttf2_ns;
   trace.ttf3_ns = sample.ttf3_ns;
   ttf_ring_.record(trace);
@@ -512,9 +833,15 @@ RuntimeMetrics LookupRuntime::metrics() const {
   m.client_stalls = client_counters_.get(ClientCounter::kStalls);
   m.batches_aborted = client_counters_.get(ClientCounter::kBatchesAborted);
   m.updates_applied = updates_completed_.load(std::memory_order_relaxed);
+  m.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
   m.tables_published = tables_published_.load(std::memory_order_relaxed);
   m.tables_reclaimed = epoch_.reclaimed();
   m.tables_pending = epoch_.pending();
+  m.rebalance_passes = rebalance_passes_.load(std::memory_order_relaxed);
+  m.rebalance_steps = rebalance_steps_.load(std::memory_order_relaxed);
+  m.entries_migrated = entries_migrated_.load(std::memory_order_relaxed);
+  m.chip_occupancy = occupancy_snapshot();
+  m.skew = RebalancePlanner::skew(m.chip_occupancy);
   return m;
 }
 
@@ -547,17 +874,35 @@ void LookupRuntime::export_metrics(obs::MetricsRegistry& registry) const {
   registry.set_counter("runtime.fills_dropped_full", m.fills_dropped_full);
   registry.set_counter("runtime.fills_dropped_stale", m.fills_dropped_stale);
   registry.set_counter("runtime.updates_applied", m.updates_applied);
+  registry.set_counter("runtime.updates_rejected", m.updates_rejected);
   registry.set_counter("runtime.tables_published", m.tables_published);
   registry.set_counter("runtime.tables_reclaimed", m.tables_reclaimed);
   registry.set_counter("runtime.tables_pending", m.tables_pending);
+  registry.set_counter("runtime.rebalance_passes", m.rebalance_passes);
+  registry.set_counter("runtime.rebalance_steps", m.rebalance_steps);
+  registry.set_counter("runtime.entries_migrated", m.entries_migrated);
+  registry.set_counter("runtime.chip_capacity", chip_capacity_);
   registry.set_gauge("runtime.dred_hit_rate", m.dred_hit_rate());
+  registry.set_gauge("runtime.skew", m.skew);
+  std::size_t occupied_max = 0;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const std::string prefix = "runtime.worker" + std::to_string(i);
     registry.set_counter(prefix + ".jobs", m.per_worker_jobs[i]);
+    registry.set_counter(prefix + ".occupancy", m.chip_occupancy[i]);
+    occupied_max = std::max(occupied_max, m.chip_occupancy[i]);
     registry.add_histogram(prefix + ".service_ns",
                            workers_[i]->service_hist.snapshot());
   }
+  // Remaining growth headroom of the fullest chip, as a fraction of the
+  // enforced capacity — the overflow early-warning gauge.
+  registry.set_gauge(
+      "runtime.headroom_remaining",
+      chip_capacity_ == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(occupied_max) /
+                      static_cast<double>(chip_capacity_));
   registry.add_histogram("runtime.client.latency_ns", client_hist_.snapshot());
+  registry.add_histogram("runtime.rebalance_ns", rebalance_hist_.snapshot());
   registry.add_ttf_trace("runtime.ttf", ttf_ring_.snapshot());
 }
 

@@ -20,6 +20,15 @@
 //                   with one atomic pointer swap, broadcasts DRed
 //                   erase/fix messages, and waits for the workers to
 //                   ack them (so TTF2/TTF3 are measured end to end).
+//                   It also owns the boundary rebalancer: per-chip
+//                   occupancy is re-checked after every apply(), and
+//                   when skew or headroom pressure crosses the
+//                   configured watermark (RebalanceConfig), runs of
+//                   boundary-adjacent entries migrate between
+//                   neighboring chips — receiver table published
+//                   first, then the boundary swap (epoch-
+//                   synchronized), then a donor fence and shrink — so
+//                   lookups stay correct at every intermediate epoch.
 //   chip workers    pop jobs, look up against the current table
 //                   snapshot under an epoch guard, serve DRed-only
 //                   lookups from their private DRed, exchange DRed
@@ -55,6 +64,7 @@
 #include "obs/ttf_trace.hpp"
 #include "onrtc/compressed_fib.hpp"
 #include "runtime/epoch.hpp"
+#include "runtime/rebalancer.hpp"
 #include "runtime/spsc_ring.hpp"
 #include "trie/binary_trie.hpp"
 #include "update/cost_model.hpp"
@@ -76,6 +86,16 @@ struct RuntimeConfig {
   std::size_t fill_depth = 256;
   /// Retained apply() traces (TTF spans + queue depths); 0 disables.
   std::size_t ttf_trace_depth = 1024;
+  /// Modeled per-chip TCAM capacity enforced by apply(): an update whose
+  /// admission would push a chip past it triggers an emergency rebalance
+  /// and, failing that, a clean TcamFullError rejection. 0 auto-sizes to
+  /// (initial table / worker_count + 1) * (1 + chip_headroom) + 8192.
+  std::size_t chip_capacity = 0;
+  /// Fraction of growth headroom the auto-sized chip capacity reserves
+  /// above the initial even share (ignored when chip_capacity is set).
+  double chip_headroom = 1.0;
+  /// Online boundary-rebalancer knobs (watermarks, step bounds).
+  RebalanceConfig rebalance;
   /// Workers time one in every `latency_sample_every` jobs into their
   /// service-time histogram, and the client records one in every
   /// `latency_sample_every` completion latencies (power of two; 0
@@ -124,10 +144,18 @@ struct RuntimeMetrics {
   std::uint64_t fills_dropped_full = 0;   ///< fill ring full (best effort)
   std::uint64_t fills_dropped_stale = 0;  ///< home table moved on: discarded
   std::uint64_t updates_applied = 0;
+  std::uint64_t updates_rejected = 0;  ///< TcamFullError after rollback
+  /// RCU versions published: chip tables plus indexing republishes
+  /// (each is one retire in the shared epoch domain).
   std::uint64_t tables_published = 0;
   std::uint64_t tables_reclaimed = 0;
   std::uint64_t tables_pending = 0;  ///< retired, not yet reclaimed
+  std::uint64_t rebalance_passes = 0;
+  std::uint64_t rebalance_steps = 0;    ///< individual chip migrations
+  std::uint64_t entries_migrated = 0;   ///< entries moved across boundaries
   std::vector<std::uint64_t> per_worker_jobs;
+  std::vector<std::size_t> chip_occupancy;  ///< entries stored per chip
+  double skew = 1.0;  ///< max/min chip occupancy (empty chips count as 1)
 
   double dred_hit_rate() const {
     return dred_lookups ? static_cast<double>(dred_hits) /
@@ -160,7 +188,27 @@ class LookupRuntime {
   /// (TTF1), shadow-copy + atomic publish of affected chip tables
   /// (TTF2), DRed erase/fix broadcast + worker ack (TTF3). Returns wall
   /// -clock nanoseconds per stage; lookups proceed concurrently.
+  ///
+  /// Admission control: an update that would push a chip past
+  /// chip_capacity() first triggers an emergency rebalance; if even a
+  /// balanced layout cannot absorb it, the trie diff is rolled back (no
+  /// chip table or DRed is touched — trie/TCAM/DRed stay mutually
+  /// consistent), updates_rejected is counted, and tcam::TcamFullError
+  /// is thrown. After a successful apply, a skew- or headroom-watermark
+  /// crossing runs an ordinary rebalance pass before returning.
   update::TtfSample apply(const workload::UpdateMsg& message);
+
+  /// Control role. Forces one rebalance pass regardless of watermarks;
+  /// returns the number of migrations executed (0 when already even).
+  std::size_t rebalance_now();
+
+  /// Entries currently stored per chip (updated by the control role on
+  /// every publish; readable from any thread).
+  std::vector<std::size_t> chip_occupancy() const;
+  /// Current max/min chip occupancy ratio (empty chips count as 1).
+  double skew() const;
+  /// The enforced per-chip capacity (explicit or auto-sized).
+  std::size_t chip_capacity() const { return chip_capacity_; }
 
   /// Stops the runtime: workers drain and exit, and any in-flight
   /// lookup_batch (even on another thread) unblocks, returning kNoRoute
@@ -187,8 +235,15 @@ class LookupRuntime {
   }
 
   const onrtc::CompressedFib& fib() const { return fib_; }
-  const engine::IndexingLogic& indexing() const { return *indexing_; }
+  /// The current indexing function. Rebalancing republishes it; only
+  /// call this when no rebalance can run concurrently (tests,
+  /// post-mortems) — the client role reads it under an epoch pin.
+  const engine::IndexingLogic& indexing() const {
+    return *indexing_.load(std::memory_order_acquire);
+  }
   /// Range-partition boundaries (ascending, worker_count-1 of them).
+  /// Control-role state: rebalancing rewrites it, so read only from the
+  /// control thread or while updates are quiescent.
   const std::vector<Ipv4Address>& boundaries() const { return boundaries_; }
   std::size_t worker_count() const { return workers_.size(); }
   const RuntimeConfig& config() const { return config_; }
@@ -225,14 +280,23 @@ class LookupRuntime {
     Ipv4Address address{0};
     std::uint32_t index = 0;
     bool dred_only = false;
+    /// Batch generation: an aborted batch can leave completions in the
+    /// rings; the next batch must discard them instead of writing
+    /// results[index] against a differently-sized vector.
+    std::uint32_t gen = 0;
   };
   struct Completion {
     std::uint32_t index = 0;
     NextHop hop = netbase::kNoRoute;
     bool miss_return = false;
+    std::uint32_t gen = 0;
   };
   struct ControlMsg {
-    enum class Kind : std::uint8_t { kErase, kFix };
+    /// kErase/kFix sync a DRed entry; kFence makes the worker drain its
+    /// own job ring (bounded by its capacity) before acking, so the
+    /// control plane knows every job submitted under a since-retired
+    /// indexing has been answered from the still-fat donor table.
+    enum class Kind : std::uint8_t { kErase, kFix, kFence };
     Kind kind = Kind::kErase;
     Route route;
   };
@@ -257,6 +321,9 @@ class LookupRuntime {
     std::atomic<ChipTable*> active{nullptr};
     std::atomic<std::uint64_t> published_version{0};
     std::atomic<std::uint64_t> control_applied{0};
+    /// Entries in the active table; written by the control role at every
+    /// publish, read by metrics/rebalance planning from any thread.
+    std::atomic<std::size_t> occupancy{0};
     std::unique_ptr<engine::DredStore> dred;
     obs::CounterBlock<WorkerCounter> counters;
     obs::LatencyHistogram service_hist;
@@ -272,21 +339,60 @@ class LookupRuntime {
   bool drain_control(std::size_t w);
   bool drain_fills(std::size_t w);
   void send_fills(std::size_t w, const Route& matched, std::uint64_t version);
+  /// kFence handler: answers every job currently in worker w's ring
+  /// (bounded by ring capacity) against the active table.
+  void drain_own_jobs(std::size_t w);
 
   /// Client-side dispatch of one fresh address; false = all queues full.
-  bool try_submit(Ipv4Address address, std::uint32_t index);
+  /// `indexing` is the epoch-pinned snapshot the caller loaded.
+  bool try_submit(const engine::IndexingLogic& indexing, Ipv4Address address,
+                  std::uint32_t index);
+
+  // ---- control-role internals (single control thread at a time) ----
+
+  /// Swaps chip `chip` to `next` (version already bumped), retires the
+  /// old version, refreshes occupancy/published_version.
+  void publish_table(std::size_t chip, ChipTable* next);
+  /// Publishes a new IndexingLogic for `boundaries` and waits out a
+  /// grace period so no reader still uses the old one.
+  void publish_indexing();
+  /// Pushes one control message to worker `chip` (spin on a full ring).
+  void push_control(std::size_t chip, const ControlMsg& msg);
+  /// Waits until worker `chip` acked everything pushed to it.
+  void wait_control_ack(std::size_t chip);
+  /// Executes one planned migration; returns entries moved.
+  std::size_t migrate(const MigrationStep& step);
+  /// Runs plan_step/migrate until even or bounded; returns steps run.
+  std::size_t rebalance_pass();
+  std::vector<std::size_t> occupancy_snapshot() const;
+  /// Inverse of the `message` diff against the pre-update ground truth
+  /// (`prior` = the exact route stored at message.prefix beforehand).
+  void rollback_update(const workload::UpdateMsg& message,
+                       const std::optional<NextHop>& prior);
 
   RuntimeConfig config_;
   onrtc::CompressedFib fib_;
-  std::vector<Ipv4Address> boundaries_;
-  std::unique_ptr<engine::IndexingLogic> indexing_;
+  std::vector<Ipv4Address> boundaries_;  // control-role state
+  std::atomic<engine::IndexingLogic*> indexing_{nullptr};
   EpochDomain epoch_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
   bool dred_enabled_ = false;
+  std::size_t chip_capacity_ = 0;
+  RebalancePlanner planner_;
+  /// The client role's epoch slot (slot worker_count); pins the
+  /// IndexingLogic snapshot for one dispatch pass.
+  std::size_t client_slot_ = 0;
+  /// Client-private batch generation; stamps jobs so completions from an
+  /// aborted batch are discarded by the next one (plain, single writer).
+  std::uint32_t batch_gen_ = 0;
 
   std::atomic<std::uint64_t> updates_started_{0};
   std::atomic<std::uint64_t> updates_completed_{0};
+  std::atomic<std::uint64_t> updates_rejected_{0};
+  std::atomic<std::uint64_t> rebalance_passes_{0};
+  std::atomic<std::uint64_t> rebalance_steps_{0};
+  std::atomic<std::uint64_t> entries_migrated_{0};
 
   // Control-thread-private bookkeeping (how many control messages have
   // been pushed to each worker, to wait for acks).
@@ -302,6 +408,9 @@ class LookupRuntime {
 
   // Control-role observability.
   obs::TtfTraceRing ttf_ring_;
+  /// Wall time of each rebalance pass (control thread is the single
+  /// writer; exported as "runtime.rebalance_ns").
+  obs::LatencyHistogram rebalance_hist_;
 
   // Service-time sampling: jobs & sample_mask_ == 0 gets timed.
   bool sample_enabled_ = false;

@@ -1,0 +1,97 @@
+// Online boundary rebalancer — planning side.
+//
+// The paper's keystone (§III-A) is that the non-overlapping table splits
+// into *exactly even* range partitions, but that evenness is only true at
+// construction time: a realistic insert-heavy BGP churn lands most new
+// prefixes in a few hot /8s, so chip occupancies drift apart until the
+// hot chip exhausts its capacity. The rebalancer watches per-chip
+// occupancy and, when skew (max/min) or headroom pressure crosses a
+// watermark, plans migrations of boundary-adjacent entry runs between
+// *neighboring* chips. Because the table is non-overlapping and each
+// chip owns one contiguous address range, a migration is always "move
+// the k highest entries of chip i to chip i+1" (or the mirror) plus one
+// boundary move — every migrated entry is a plain append on the
+// receiver and a one-shift delete on the donor (§IV-B).
+//
+// This header is pure planning: occupancies in, one executable
+// MigrationStep out. The execution protocols live with the hosts —
+// runtime::LookupRuntime runs the epoch-ordered concurrent protocol,
+// system::ClueSystem the serial one — so the same planner drives both
+// planes and they balance identically.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace clue::runtime {
+
+struct RebalanceConfig {
+  /// Master switch; disabled means occupancies drift freely (and a full
+  /// chip is a hard TcamFullError instead of an emergency migration).
+  bool enabled = true;
+  /// Rebalance when max/min chip occupancy exceeds this ratio (empty
+  /// chips count as occupancy 1 for the ratio). Must be >= 1.
+  double skew_watermark = 1.25;
+  /// With a known per-chip capacity, rebalance when any chip's
+  /// occupancy/capacity fraction exceeds this — the headroom-remaining
+  /// trigger that front-runs overflow.
+  double headroom_watermark = 0.85;
+  /// Skew on tiny tables is noise; below this total occupancy the skew
+  /// trigger stays quiet (the headroom trigger still fires).
+  std::size_t min_total_entries = 256;
+  /// Upper bound on migrations per rebalance pass (safety valve; a pass
+  /// normally converges in at most chips-1 steps).
+  std::size_t max_steps_per_pass = 64;
+  /// Cap on entries moved by one migration; 0 = move the full planned
+  /// run in one step.
+  std::size_t max_entries_per_step = 0;
+};
+
+/// One planned migration between two *adjacent* chips: move `count`
+/// boundary-adjacent entries from `donor` to `receiver`
+/// (receiver == donor ± 1) and shift the shared boundary accordingly.
+struct MigrationStep {
+  std::size_t donor = 0;
+  std::size_t receiver = 0;
+  std::size_t count = 0;
+};
+
+class RebalancePlanner {
+ public:
+  explicit RebalancePlanner(RebalanceConfig config = {});
+
+  const RebalanceConfig& config() const { return config_; }
+
+  /// max/min occupancy ratio, with empty chips counted as 1 so the
+  /// ratio stays finite. 1.0 for perfectly even (or <2 chips).
+  static double skew(std::span<const std::size_t> occupancy);
+
+  /// The per-chip entry counts an exactly even split would give
+  /// (ceil/floor of total/n; when total < n the occupied chips sit at
+  /// the *end*, matching partition::even_partition's degenerate layout).
+  static std::vector<std::size_t> even_targets(
+      std::span<const std::size_t> occupancy);
+
+  /// True when either watermark is crossed: skew above skew_watermark
+  /// (and total >= min_total_entries), or — when `chip_capacity` > 0 —
+  /// any chip above headroom_watermark of capacity.
+  bool should_rebalance(std::span<const std::size_t> occupancy,
+                        std::size_t chip_capacity = 0) const;
+
+  /// The next executable migration toward the even targets, or nullopt
+  /// when balanced (or no executable step exists). Executable means the
+  /// donor actually has the entries: a donor giving entries *leftward*
+  /// always keeps at least one, so its boundary stays representable
+  /// (the top chip must keep owning the top of the address space).
+  /// Iterating plan_step + execute strictly decreases total imbalance,
+  /// so a pass converges; steps honor max_entries_per_step.
+  std::optional<MigrationStep> plan_step(
+      std::span<const std::size_t> occupancy) const;
+
+ private:
+  RebalanceConfig config_;
+};
+
+}  // namespace clue::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <string>
 
 #include "partition/partition.hpp"
@@ -21,31 +22,40 @@ double elapsed_ns(Clock::time_point start) {
 
 ClueSystem::ClueSystem(const trie::BinaryTrie& fib,
                        const SystemConfig& config)
-    : fib_(fib) {
+    : fib_(fib), planner_(config.rebalance) {
   const auto table = fib_.compressed().routes();
   const auto partitions =
       partition::even_partition(table, config.tcam_count);
   boundaries_ =
       partition::even_partition_boundaries(table, config.tcam_count);
-  std::vector<std::size_t> identity(config.tcam_count);
-  for (std::size_t i = 0; i < config.tcam_count; ++i) identity[i] = i;
-  indexing_ =
-      std::make_unique<engine::IndexingLogic>(boundaries_, identity);
+  refresh_indexing();
 
-  std::size_t capacity = config.tcam_capacity;
-  if (capacity == 0) {
-    capacity = 2 * (table.size() / config.tcam_count + 1) + 8192;
+  if (config.tcam_capacity > 0) {
+    tcam_capacity_ = config.tcam_capacity;
+  } else {
+    const double headroom = std::max(config.tcam_headroom, 0.0);
+    const std::size_t per_chip = table.size() / config.tcam_count + 1;
+    tcam_capacity_ = static_cast<std::size_t>(
+                         static_cast<double>(per_chip) * (1.0 + headroom)) +
+                     8192;
   }
   chips_.reserve(config.tcam_count);
   dreds_.reserve(config.tcam_count);
   for (std::size_t i = 0; i < config.tcam_count; ++i) {
-    chips_.push_back(std::make_unique<tcam::ClueUpdater>(capacity));
+    chips_.push_back(std::make_unique<tcam::ClueUpdater>(tcam_capacity_));
     for (const auto& route : partitions.buckets[i].routes) {
       chips_[i]->insert(tcam::TcamEntry{route.prefix, route.next_hop});
     }
     dreds_.push_back(
         std::make_unique<engine::DredStore>(config.dred_capacity));
   }
+}
+
+void ClueSystem::refresh_indexing() {
+  std::vector<std::size_t> identity(boundaries_.size() + 1);
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  indexing_ =
+      std::make_unique<engine::IndexingLogic>(boundaries_, identity);
 }
 
 std::size_t ClueSystem::chip_of(Ipv4Address address) const {
@@ -68,6 +78,9 @@ update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
   update::TtfSample sample;
 
   const auto start = Clock::now();
+  // Rollback token for a rejected admission: the exact prior route.
+  const std::optional<NextHop> prior =
+      fib_.ground_truth().find(message.prefix);
   const auto ops =
       message.kind == workload::UpdateKind::kAnnounce
           ? fib_.announce(message.prefix, message.next_hop)
@@ -75,35 +88,110 @@ update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
   sample.ttf1_ns = elapsed_ns(start);
   if (ops.empty()) return sample;
 
+  // One (kind, region-or-piece, chip) work item per chip touched.
+  // Inserts split fresh at the current boundaries; deletes/modifies
+  // carry the whole region and expand to the chip's *stored* shapes at
+  // execution time — after a boundary migration the stored shapes no
+  // longer match a fresh split, so an exact-prefix erase of recomputed
+  // pieces would strand entries.
+  struct WorkItem {
+    onrtc::FibOpKind kind;
+    std::size_t chip;
+    Route route;
+  };
+  std::vector<WorkItem> work;
+  const auto plan_work = [&] {
+    work.clear();
+    for (const auto& op : ops) {
+      if (op.kind == onrtc::FibOpKind::kInsert) {
+        for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
+          work.push_back(
+              WorkItem{op.kind, chip, Route{piece, op.route.next_hop}});
+        }
+      } else {
+        std::size_t last_chip = ~std::size_t{0};
+        for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
+          if (chip == last_chip) continue;
+          last_chip = chip;
+          work.push_back(WorkItem{op.kind, chip, op.route});
+        }
+      }
+    }
+  };
+  // Worst-case growth precheck (admission control). Counting every
+  // absent insert piece and crediting no delete is a true upper bound on
+  // any transient occupancy during the op sequence, so a passing update
+  // can never hit TcamFullError mid-flight and leave a chip half
+  // written. The price is a rare spurious rejection of a delete+insert
+  // update against a brim-full chip.
+  const auto fits = [&] {
+    std::vector<std::size_t> projected(chips_.size());
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+      projected[i] = chips_[i]->size();
+    }
+    for (const auto& item : work) {
+      if (item.kind != onrtc::FibOpKind::kInsert) continue;
+      if (!chips_[item.chip]->chip().slot_of(item.route.prefix)) {
+        ++projected[item.chip];
+      }
+    }
+    for (const auto& p : projected) {
+      if (p > tcam_capacity_) return false;
+    }
+    return true;
+  };
+
+  plan_work();
+  if (!fits()) {
+    // Emergency rebalance: even out occupancy, then re-plan at the new
+    // boundaries. If even the balanced layout cannot absorb the update,
+    // reject it cleanly: undo the trie diff so trie, chips, and DReds
+    // all still agree, and surface a typed, recoverable error.
+    std::size_t moved = planner_.config().enabled ? rebalance_pass() : 0;
+    if (moved > 0) plan_work();
+    if (moved == 0 || !fits()) {
+      if (prior) {
+        fib_.announce(message.prefix, *prior);
+      } else if (message.kind == workload::UpdateKind::kAnnounce) {
+        fib_.withdraw(message.prefix);
+      }
+      ++updates_rejected_;
+      throw tcam::TcamFullError("ClueSystem::apply", tcam_capacity_);
+    }
+  }
+
   // Chips update independently, so TTF2 is the slowest chip's share.
   std::vector<std::size_t> per_chip_ops(chips_.size(), 0);
   std::size_t dred_ops = 0;
-  for (const auto& op : ops) {
-    for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
-      switch (op.kind) {
-        case onrtc::FibOpKind::kInsert:
-        case onrtc::FibOpKind::kModify:
-          per_chip_ops[chip] +=
-              chips_[chip]->insert(tcam::TcamEntry{piece, op.route.next_hop});
-          break;
-        case onrtc::FibOpKind::kDelete:
-          per_chip_ops[chip] += chips_[chip]->erase(piece);
-          break;
-      }
-      // DRed synchronisation (§IV-C): deletes and modifies broadcast one
-      // parallel probe to all DReds; inserts need nothing.
-      if (op.kind != onrtc::FibOpKind::kInsert) {
-        for (auto& dred : dreds_) {
-          if (op.kind == onrtc::FibOpKind::kDelete) {
-            dred->erase(piece);
-          } else {
+  for (const auto& item : work) {
+    switch (item.kind) {
+      case onrtc::FibOpKind::kInsert:
+        per_chip_ops[item.chip] += chips_[item.chip]->insert(
+            tcam::TcamEntry{item.route.prefix, item.route.next_hop});
+        break;
+      case onrtc::FibOpKind::kDelete:
+        for (const auto& stored :
+             chips_[item.chip]->chip().entries_within(item.route.prefix)) {
+          per_chip_ops[item.chip] += chips_[item.chip]->erase(stored.prefix);
+          // DRed synchronisation (§IV-C): one parallel probe per stored
+          // shape to all DReds (DReds only ever cache stored shapes).
+          for (auto& dred : dreds_) dred->erase(stored.prefix);
+          ++dred_ops;
+        }
+        break;
+      case onrtc::FibOpKind::kModify:
+        for (const auto& stored :
+             chips_[item.chip]->chip().entries_within(item.route.prefix)) {
+          per_chip_ops[item.chip] += chips_[item.chip]->insert(
+              tcam::TcamEntry{stored.prefix, item.route.next_hop});
+          for (auto& dred : dreds_) {
             // fix(): rewrite in place; a sync message must not promote
             // the entry in LRU order.
-            dred->fix(Route{piece, op.route.next_hop});
+            dred->fix(Route{stored.prefix, item.route.next_hop});
           }
+          ++dred_ops;
         }
-        ++dred_ops;
-      }
+        break;
     }
   }
   sample.ttf2_ns =
@@ -112,8 +200,78 @@ update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
       update::CostModel::kTcamOpNs;
   sample.ttf3_ns =
       static_cast<double>(dred_ops) * update::CostModel::kTcamOpNs;
+
+  // Drift watch: even out while the skew is still small.
+  if (planner_.should_rebalance(chip_occupancy(), tcam_capacity_)) {
+    rebalance_pass();
+  }
   return sample;
 }
+
+std::vector<std::size_t> ClueSystem::chip_occupancy() const {
+  std::vector<std::size_t> occupancy(chips_.size());
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    occupancy[i] = chips_[i]->size();
+  }
+  return occupancy;
+}
+
+double ClueSystem::skew() const {
+  const auto occupancy = chip_occupancy();
+  return runtime::RebalancePlanner::skew(occupancy);
+}
+
+std::size_t ClueSystem::migrate(const runtime::MigrationStep& step) {
+  auto& donor = *chips_[step.donor];
+  auto& receiver = *chips_[step.receiver];
+  // Prefix() is 0.0.0.0/0: all stored routes, address-sorted.
+  const std::vector<Route> donor_routes =
+      donor.chip().entries_within(Prefix());
+  if (donor_routes.empty()) return 0;
+  const bool rightward = step.receiver == step.donor + 1;
+  std::size_t count = std::min(step.count, donor_routes.size());
+  // A leftward donor keeps its top entry so its upper boundary stays at
+  // a real stored address.
+  if (!rightward) count = std::min(count, donor_routes.size() - 1);
+  // Never migrate into overflow: each migrated entry must find a slot.
+  count = std::min(count, receiver.chip().capacity() - receiver.size());
+  if (count == 0) return 0;
+
+  const std::size_t first = rightward ? donor_routes.size() - count : 0;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const Route& route = donor_routes[i];
+    receiver.insert(tcam::TcamEntry{route.prefix, route.next_hop});
+    donor.erase(route.prefix);
+    // Exclusion invariant: the receiver's DRed must not cache what is
+    // now the receiver's own prefix. Other DReds may keep it — the
+    // route itself did not change.
+    dreds_[step.receiver]->erase(route.prefix);
+  }
+  const std::size_t boundary = rightward ? step.donor : step.receiver;
+  boundaries_[boundary] =
+      rightward ? donor_routes[first].prefix.range_low()
+                : donor_routes[count].prefix.range_low();
+  refresh_indexing();
+  return count;
+}
+
+std::size_t ClueSystem::rebalance_pass() {
+  std::size_t steps = 0;
+  while (steps < planner_.config().max_steps_per_pass) {
+    const auto occupancy = chip_occupancy();
+    const auto step = planner_.plan_step(occupancy);
+    if (!step) break;
+    const std::size_t moved = migrate(*step);
+    if (moved == 0) break;
+    entries_migrated_ += moved;
+    ++rebalance_steps_;
+    ++steps;
+  }
+  if (steps > 0) ++rebalance_passes_;
+  return steps;
+}
+
+std::size_t ClueSystem::rebalance_now() { return rebalance_pass(); }
 
 std::unique_ptr<runtime::LookupRuntime> ClueSystem::runtime(
     runtime::RuntimeConfig config) const {
@@ -149,6 +307,24 @@ void ClueSystem::export_metrics(obs::MetricsRegistry& registry) const {
   registry.set_counter("system.compressed_routes", fib_.compressed().size());
   registry.set_counter("system.tcam_entries", total_tcam_entries());
   registry.set_counter("system.tcam_count", chips_.size());
+  registry.set_counter("system.tcam_capacity", tcam_capacity_);
+  registry.set_counter("system.updates_rejected", updates_rejected_);
+  registry.set_counter("system.rebalance_passes", rebalance_passes_);
+  registry.set_counter("system.rebalance_steps", rebalance_steps_);
+  registry.set_counter("system.entries_migrated", entries_migrated_);
+  registry.set_gauge("system.skew", skew());
+  const auto occupancy = chip_occupancy();
+  const std::size_t occupied_max =
+      occupancy.empty()
+          ? 0
+          : *std::max_element(occupancy.begin(), occupancy.end());
+  // Fraction of the fullest chip still free — the overflow early warning
+  // the rebalancer's headroom watermark fires on.
+  registry.set_gauge("system.headroom_remaining",
+                     tcam_capacity_ == 0
+                         ? 1.0
+                         : 1.0 - static_cast<double>(occupied_max) /
+                                     static_cast<double>(tcam_capacity_));
   for (std::size_t i = 0; i < chips_.size(); ++i) {
     const std::string prefix = "system.chip" + std::to_string(i);
     registry.set_counter(prefix + ".entries", chips_[i]->size());

@@ -40,9 +40,18 @@ using netbase::Route;
 
 struct SystemConfig {
   std::size_t tcam_count = 4;
-  /// Per-chip capacity; 0 = auto (2x initial partition + headroom).
+  /// Per-chip capacity; 0 = auto-size from the initial even share with
+  /// `tcam_headroom` growth headroom (see below).
   std::size_t tcam_capacity = 0;
+  /// Fraction of growth headroom the auto-sized capacity reserves above
+  /// the initial per-chip share: capacity = share * (1 + tcam_headroom)
+  /// + 8192 slack. The default 1.0 (i.e. +100%) keeps the historical
+  /// "2x initial partition" sizing. Ignored when tcam_capacity is set.
+  double tcam_headroom = 1.0;
   std::size_t dred_capacity = 1024;
+  /// Online boundary-rebalancer knobs (shared with the runtime, so the
+  /// serial and concurrent planes balance identically).
+  runtime::RebalanceConfig rebalance;
 };
 
 class ClueSystem {
@@ -55,7 +64,27 @@ class ClueSystem {
   /// Whole-path update: trie -> affected chips -> DReds. TTF2 charges
   /// the *critical path* (chips update in parallel): max ops on any one
   /// chip x 24 ns.
+  ///
+  /// Admission control mirrors the runtime: an update whose (worst-case)
+  /// growth would overflow a chip triggers an emergency rebalance, and
+  /// if even the balanced layout cannot absorb it the trie diff is
+  /// rolled back and tcam::TcamFullError is thrown — no chip or DRed is
+  /// touched on the rejected path, so all three stay consistent. After
+  /// a successful apply a watermark crossing runs a rebalance pass.
   update::TtfSample apply(const workload::UpdateMsg& message);
+
+  /// Forces one rebalance pass regardless of watermarks; returns the
+  /// number of migrations executed (0 when already even).
+  std::size_t rebalance_now();
+
+  /// Entries currently stored per chip.
+  std::vector<std::size_t> chip_occupancy() const;
+  /// Current max/min chip occupancy ratio (empty chips count as 1).
+  double skew() const;
+  /// The enforced per-chip capacity (explicit or auto-sized).
+  std::size_t tcam_capacity() const { return tcam_capacity_; }
+  /// Updates rejected with TcamFullError (after rollback).
+  std::uint64_t updates_rejected() const { return updates_rejected_; }
 
   /// Builds an engine setup snapshot of the current chip contents, for
   /// throughput experiments against the live table.
@@ -92,12 +121,24 @@ class ClueSystem {
   /// Splits `prefix` at partition boundaries into per-chip pieces.
   std::vector<std::pair<std::size_t, Prefix>> pieces_of(
       const Prefix& prefix) const;
+  /// Rebuilds indexing_ from boundaries_ after a migration.
+  void refresh_indexing();
+  /// Executes one planned migration; returns entries moved.
+  std::size_t migrate(const runtime::MigrationStep& step);
+  /// Runs plan_step/migrate until even or bounded; returns steps run.
+  std::size_t rebalance_pass();
 
   onrtc::CompressedFib fib_;
   std::vector<Ipv4Address> boundaries_;  // ascending, chips-1 of them
   std::unique_ptr<engine::IndexingLogic> indexing_;
   std::vector<std::unique_ptr<tcam::ClueUpdater>> chips_;
   std::vector<std::unique_ptr<engine::DredStore>> dreds_;
+  runtime::RebalancePlanner planner_;
+  std::size_t tcam_capacity_ = 0;
+  std::uint64_t updates_rejected_ = 0;
+  std::uint64_t rebalance_passes_ = 0;
+  std::uint64_t rebalance_steps_ = 0;
+  std::uint64_t entries_migrated_ = 0;
 };
 
 }  // namespace clue::system

@@ -39,7 +39,7 @@ std::size_t NaiveUpdater::insert(const TcamEntry& entry) {
   }
   const std::size_t used = total();
   if (used == chip_->capacity()) {
-    throw std::length_error("NaiveUpdater::insert: TCAM full");
+    throw TcamFullError("NaiveUpdater::insert", chip_->capacity());
   }
   const std::size_t position = insert_position(entry.prefix.length());
   std::size_t operations = 0;
@@ -92,7 +92,7 @@ std::size_t ShahGuptaUpdater::insert(const TcamEntry& entry) {
   }
   const std::size_t used = total();
   if (used == chip_->capacity()) {
-    throw std::length_error("ShahGuptaUpdater::insert: TCAM full");
+    throw TcamFullError("ShahGuptaUpdater::insert", chip_->capacity());
   }
   const unsigned length = entry.prefix.length();
   // Open a hole at the end of `length`'s block by cascading one entry
@@ -149,7 +149,7 @@ std::size_t ClueUpdater::insert(const TcamEntry& entry) {
     return kWriteCost;
   }
   if (chip_->full()) {
-    throw std::length_error("ClueUpdater::insert: TCAM full");
+    throw TcamFullError("ClueUpdater::insert", chip_->capacity());
   }
   chip_->write(chip_->occupied(), entry);
   return kWriteCost;

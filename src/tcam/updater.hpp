@@ -18,11 +18,31 @@
 #include <array>
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "tcam/tcam_chip.hpp"
 
 namespace clue::tcam {
+
+/// Thrown when an insert finds no free slot. Derives from
+/// std::length_error for backward compatibility, but carries the chip
+/// capacity so control planes can treat overflow as a *recoverable*
+/// admission failure (emergency rebalance, reject-and-rollback) instead
+/// of a crash.
+class TcamFullError : public std::length_error {
+ public:
+  TcamFullError(std::string_view updater, std::size_t capacity)
+      : std::length_error(std::string(updater) + ": TCAM full (capacity " +
+                          std::to_string(capacity) + ")"),
+        capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+};
 
 class TcamUpdater {
  public:

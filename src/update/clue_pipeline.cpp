@@ -1,6 +1,9 @@
 #include "update/clue_pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+#include <string>
 
 namespace clue::update {
 
@@ -19,7 +22,12 @@ CluePipeline::CluePipeline(const trie::BinaryTrie& fib,
                            const PipelineConfig& config)
     : fib_(fib) {
   std::size_t capacity = config.tcam_capacity;
-  if (capacity == 0) capacity = 4 * fib_.size() + 8192;
+  if (capacity == 0) {
+    const double headroom = std::max(config.update_headroom, 0.0);
+    capacity = static_cast<std::size_t>(
+                   static_cast<double>(fib_.size()) * (1.0 + headroom)) +
+               8192;
+  }
   tcam_ = std::make_unique<tcam::ClueUpdater>(capacity);
   for (const auto& route : fib_.compressed().routes()) {
     tcam_->insert(tcam::TcamEntry{route.prefix, route.next_hop});
@@ -36,11 +44,36 @@ TtfSample CluePipeline::apply(const workload::UpdateMsg& message) {
 
   // --- TTF1: incremental ONRTC trie update (measured). -------------------
   const auto start = Clock::now();
+  // Rollback token for a rejected admission: the exact prior route.
+  const std::optional<NextHop> prior =
+      fib_.ground_truth().find(message.prefix);
   const auto ops =
       message.kind == workload::UpdateKind::kAnnounce
           ? fib_.announce(message.prefix, message.next_hop)
           : fib_.withdraw(message.prefix);
   sample.ttf1_ns = elapsed_ns(start);
+
+  // --- Admission control: reject before any chip write. ------------------
+  // Counting every absent insert and crediting no delete is a true upper
+  // bound on transient occupancy, so a passing update can never hit
+  // TcamFullError mid-sequence and leave the chip half written.
+  std::size_t projected = tcam_->size();
+  for (const auto& op : ops) {
+    if (op.kind == onrtc::FibOpKind::kInsert &&
+        !tcam_->chip().slot_of(op.route.prefix)) {
+      ++projected;
+    }
+  }
+  if (projected > tcam_->chip().capacity()) {
+    if (prior) {
+      fib_.announce(message.prefix, *prior);
+    } else if (message.kind == workload::UpdateKind::kAnnounce) {
+      fib_.withdraw(message.prefix);
+    }
+    ++updates_rejected_;
+    throw tcam::TcamFullError("CluePipeline::apply",
+                              tcam_->chip().capacity());
+  }
 
   // --- TTF2: order-free TCAM update, ≤1 shift per diff op. ---------------
   for (const auto& op : ops) {
@@ -96,6 +129,27 @@ void CluePipeline::warm(const std::vector<Ipv4Address>& addresses) {
 NextHop CluePipeline::lookup(Ipv4Address address) {
   const auto result = tcam_->chip().search(address);
   return result.hit ? result.next_hop : netbase::kNoRoute;
+}
+
+void CluePipeline::export_metrics(obs::MetricsRegistry& registry) const {
+  const std::size_t capacity = tcam_->chip().capacity();
+  registry.set_counter("pipeline.routes", fib_.ground_truth().size());
+  registry.set_counter("pipeline.compressed_routes", fib_.size());
+  registry.set_counter("pipeline.tcam_entries", tcam_->size());
+  registry.set_counter("pipeline.tcam_capacity", capacity);
+  registry.set_counter("pipeline.updates_rejected", updates_rejected_);
+  registry.set_gauge("pipeline.headroom_remaining",
+                     capacity == 0
+                         ? 0.0
+                         : 1.0 - static_cast<double>(tcam_->size()) /
+                                     static_cast<double>(capacity));
+  for (std::size_t i = 0; i < dreds_.size(); ++i) {
+    const std::string prefix = "pipeline.dred" + std::to_string(i);
+    const auto& stats = dreds_[i]->stats();
+    registry.set_counter(prefix + ".hits", stats.hits);
+    registry.set_counter(prefix + ".lookups", stats.lookups);
+    registry.set_gauge(prefix + ".hit_rate", stats.hit_rate());
+  }
 }
 
 }  // namespace clue::update

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/dred.hpp"
+#include "obs/metrics_registry.hpp"
 #include "onrtc/compressed_fib.hpp"
 #include "tcam/updater.hpp"
 #include "update/cost_model.hpp"
@@ -25,8 +26,15 @@ using netbase::NextHop;
 using netbase::Prefix;
 
 struct PipelineConfig {
-  /// 0 = size automatically (table size + 50 % update headroom).
+  /// Explicit TCAM capacity; 0 = auto-size from the compressed table
+  /// with `update_headroom` growth headroom (see below).
   std::size_t tcam_capacity = 0;
+  /// Fraction of growth headroom the auto-sized capacity reserves above
+  /// the initial compressed-table size: capacity = size * (1 +
+  /// update_headroom) + 8192 slack. The default 3.0 (i.e. +300%) keeps
+  /// the historical "4x table" sizing. Ignored when tcam_capacity is
+  /// set.
+  double update_headroom = 3.0;
   std::size_t dred_count = 4;
   std::size_t dred_capacity = 1024;
 };
@@ -36,6 +44,12 @@ class CluePipeline {
   CluePipeline(const trie::BinaryTrie& fib, const PipelineConfig& config);
 
   /// Applies one update message through trie, TCAM and DRed.
+  ///
+  /// An update whose worst-case growth would overflow the TCAM is
+  /// rejected *before* any chip or DRed write: the trie diff is rolled
+  /// back and tcam::TcamFullError is thrown, leaving trie, TCAM and
+  /// DReds mutually consistent (the caller can drop the update, resize,
+  /// or shed load — the pipeline object stays usable).
   TtfSample apply(const workload::UpdateMsg& message);
 
   /// Simulates lookup traffic to populate the DReds the way a running
@@ -51,11 +65,23 @@ class CluePipeline {
   const engine::DredStore& dred(std::size_t i) const { return *dreds_[i]; }
   std::size_t dred_count() const { return dreds_.size(); }
 
+  /// The enforced TCAM capacity (explicit or auto-sized).
+  std::size_t tcam_capacity() const { return tcam_->chip().capacity(); }
+  /// Updates rejected with TcamFullError (after trie rollback).
+  std::uint64_t updates_rejected() const { return updates_rejected_; }
+
+  /// Fills `registry` with pipeline sizing and pressure metrics —
+  /// notably "pipeline.headroom_remaining", the fraction of TCAM
+  /// capacity still free, so operators see overflow coming before
+  /// apply() starts rejecting.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   onrtc::CompressedFib fib_;
   std::unique_ptr<tcam::ClueUpdater> tcam_;
   std::vector<std::unique_ptr<engine::DredStore>> dreds_;
   std::size_t warm_cursor_ = 0;
+  std::uint64_t updates_rejected_ = 0;
 };
 
 }  // namespace clue::update

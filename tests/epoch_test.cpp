@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace {
@@ -127,6 +128,50 @@ TEST(EpochTest, ThreadedSwapTortureReclaimsEverythingOnce) {
   EXPECT_EQ(domain.reclaimed(), static_cast<std::uint64_t>(kSwaps));
   EXPECT_EQ(destroyed.load(), kSwaps);
   delete published.load();
+}
+
+TEST(EpochTest, SynchronizeReturnsImmediatelyWithoutReaders) {
+  EpochDomain domain(4);
+  domain.synchronize();  // all slots idle: must not block
+  domain.pin(2);
+  domain.unpin(2);
+  domain.synchronize();  // an unpinned slot is idle again
+}
+
+TEST(EpochTest, SynchronizeWaitsForPreexistingPin) {
+  EpochDomain domain(2);
+  domain.pin(0);
+
+  std::atomic<bool> returned{false};
+  std::thread writer([&] {
+    domain.synchronize();
+    returned.store(true, std::memory_order_release);
+  });
+  // The reader in slot 0 predates the epoch advance, so synchronize()
+  // must still be spinning. (A false negative here would only hide the
+  // bug, never flake a correct implementation.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load(std::memory_order_acquire));
+
+  domain.unpin(0);
+  writer.join();
+  EXPECT_TRUE(returned.load(std::memory_order_acquire));
+}
+
+TEST(EpochTest, SynchronizeIsAGraceBarrierForRetirees) {
+  // After synchronize() returns, objects retired *before* it are
+  // invisible to every reader, so reclaim() must free all of them even
+  // if a reader re-pinned immediately after.
+  EpochDomain domain(1);
+  std::atomic<int> destroyed{0};
+  domain.pin(0);
+  domain.retire(new Counted(destroyed));
+  domain.unpin(0);
+  domain.synchronize();
+  domain.pin(0);  // a fresh pin at the post-barrier epoch
+  EXPECT_EQ(domain.reclaim(), 1u);
+  EXPECT_EQ(destroyed.load(), 1);
+  domain.unpin(0);
 }
 
 }  // namespace

@@ -72,6 +72,67 @@ TEST(EvenPartition, MoreBucketsThanRoutesLeavesEmpties) {
   EXPECT_EQ(result.max_bucket(), 1u);
 }
 
+// Regression: the degenerate layout (fewer routes than buckets) must put
+// the empty buckets FIRST. A trailing empty bucket would need a boundary
+// one past the top of the address space — unrepresentable, historically
+// faked with 255.255.255.255, which claimed that address for an empty
+// bucket and produced duplicate boundaries.
+TEST(EvenPartition, DegenerateLayoutPutsOccupiedBucketsAtEnd) {
+  Pcg32 rng(37);
+  const auto table = disjoint_table(rng, 3);
+  const std::size_t m = table.size();  // compression may merge below 3
+  ASSERT_GE(m, 1u);
+  ASSERT_LT(m, 8u);
+  const auto result = even_partition(table, 8);
+  ASSERT_EQ(result.buckets.size(), 8u);
+  for (std::size_t b = 0; b < 8 - m; ++b) {
+    EXPECT_TRUE(result.buckets[b].routes.empty()) << "bucket " << b;
+  }
+  for (std::size_t b = 8 - m; b < 8; ++b) {
+    ASSERT_EQ(result.buckets[b].routes.size(), 1u) << "bucket " << b;
+    EXPECT_EQ(result.buckets[b].routes.front(), table[b - (8 - m)]);
+  }
+  // The top bucket owns the top of the table (and so the top of the
+  // address space under range indexing).
+  EXPECT_EQ(result.buckets.back().routes.back(), table.back());
+}
+
+TEST(EvenPartitionBoundaries, DegenerateBoundariesSortedNoSentinel) {
+  Pcg32 rng(41);
+  const auto table = disjoint_table(rng, 3);
+  const std::size_t n = 8;
+  const auto boundaries = even_partition_boundaries(table, n);
+  ASSERT_EQ(boundaries.size(), n - 1);
+  // Non-decreasing, and never the old 255.255.255.255 sentinel.
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    EXPECT_LE(boundaries[i], boundaries[i + 1]);
+  }
+  for (const auto boundary : boundaries) {
+    EXPECT_LT(boundary, Ipv4Address(~std::uint32_t{0}));
+  }
+}
+
+TEST(EvenPartitionBoundaries, DegenerateBoundariesHomeEveryRoute) {
+  Pcg32 rng(43);
+  for (const std::size_t routes : {1u, 2u, 3u, 5u, 7u}) {
+    const auto table = disjoint_table(rng, routes);
+    const std::size_t n = 8;
+    const auto result = even_partition(table, n);
+    const auto boundaries = even_partition_boundaries(table, n);
+    for (std::size_t b = 0; b < n; ++b) {
+      for (const auto& route : result.buckets[b].routes) {
+        std::size_t index = 0;
+        while (index < boundaries.size() &&
+               route.prefix.range_low() >= boundaries[index]) {
+          ++index;
+        }
+        ASSERT_EQ(index, b)
+            << routes << " routes: " << route.prefix.to_string();
+      }
+    }
+  }
+}
+
 TEST(EvenPartitionBoundaries, RouteEveryAddressToItsBucket) {
   Pcg32 rng(11);
   const auto table = disjoint_table(rng, 800);

@@ -1,0 +1,579 @@
+// Online boundary rebalancer: planner unit tests, migration correctness
+// on the concurrent runtime and the serial system, overflow rejection
+// with trie rollback on all three hosts, and the churn-soak — sustained
+// skewed updates under concurrent lookups with a windowed version
+// oracle (sized by CLUE_SOAK_UPDATES; see ci/check.sh's soak stage).
+#include "runtime/rebalancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "runtime/lookup_runtime.hpp"
+#include "system/clue_system.hpp"
+#include "tcam/updater.hpp"
+#include "update/clue_pipeline.hpp"
+#include "workload/rib_gen.hpp"
+#include "workload/update_gen.hpp"
+
+namespace {
+
+using clue::netbase::Ipv4Address;
+using clue::netbase::make_next_hop;
+using clue::netbase::NextHop;
+using clue::netbase::Pcg32;
+using clue::netbase::Prefix;
+using clue::runtime::LookupRuntime;
+using clue::runtime::MigrationStep;
+using clue::runtime::RebalanceConfig;
+using clue::runtime::RebalancePlanner;
+using clue::runtime::RuntimeConfig;
+using clue::workload::UpdateKind;
+using clue::workload::UpdateMsg;
+
+clue::trie::BinaryTrie make_fib(std::size_t routes, std::uint64_t seed) {
+  clue::workload::RibConfig config;
+  config.table_size = routes;
+  config.seed = seed;
+  return clue::workload::generate_rib(config);
+}
+
+std::vector<Ipv4Address> random_addresses(std::size_t count,
+                                          std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Ipv4Address> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.emplace_back(rng.next());
+  return out;
+}
+
+/// A fresh announce below `bound` (chip 0's range): the hot-churn shape
+/// that drives occupancy skew.
+UpdateMsg hot_announce(Pcg32& rng, std::uint32_t bound) {
+  UpdateMsg msg;
+  msg.kind = UpdateKind::kAnnounce;
+  msg.prefix = Prefix(Ipv4Address(rng.next_below(bound)), 24);
+  msg.next_hop = make_next_hop(1 + rng.next_below(250));
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Planner unit tests.
+
+TEST(RebalancePlannerTest, SkewRatioCountsEmptyChipsAsOne) {
+  const std::vector<std::size_t> even{100, 100, 100};
+  EXPECT_DOUBLE_EQ(RebalancePlanner::skew(even), 1.0);
+  const std::vector<std::size_t> two{200, 100};
+  EXPECT_DOUBLE_EQ(RebalancePlanner::skew(two), 2.0);
+  const std::vector<std::size_t> with_empty{0, 50};
+  EXPECT_DOUBLE_EQ(RebalancePlanner::skew(with_empty), 50.0);
+  const std::vector<std::size_t> single{123};
+  EXPECT_DOUBLE_EQ(RebalancePlanner::skew(single), 1.0);
+  EXPECT_DOUBLE_EQ(RebalancePlanner::skew({}), 1.0);
+}
+
+TEST(RebalancePlannerTest, EvenTargetsFrontLoadRemainder) {
+  const std::vector<std::size_t> occupancy{14, 0, 0, 0};
+  const auto targets = RebalancePlanner::even_targets(occupancy);
+  EXPECT_EQ(targets, (std::vector<std::size_t>{4, 4, 3, 3}));
+}
+
+TEST(RebalancePlannerTest, EvenTargetsDegeneratePutsSingletonsAtEnd) {
+  // Mirrors partition::even_partition's degenerate layout: occupied
+  // buckets at the end so the top chip keeps owning the address-space
+  // top (a trailing empty bucket has no representable boundary).
+  const std::vector<std::size_t> occupancy{2, 0, 0, 0};
+  const auto targets = RebalancePlanner::even_targets(occupancy);
+  EXPECT_EQ(targets, (std::vector<std::size_t>{0, 0, 1, 1}));
+}
+
+TEST(RebalancePlannerTest, ShouldRebalanceRespectsWatermarksAndSwitch) {
+  RebalanceConfig config;
+  config.skew_watermark = 1.25;
+  config.min_total_entries = 100;
+  RebalancePlanner planner(config);
+
+  const std::vector<std::size_t> skewed{300, 100};
+  EXPECT_TRUE(planner.should_rebalance(skewed));
+  const std::vector<std::size_t> even{200, 200};
+  EXPECT_FALSE(planner.should_rebalance(even));
+  // Below min_total_entries the skew trigger stays quiet...
+  const std::vector<std::size_t> tiny{30, 10};
+  EXPECT_FALSE(planner.should_rebalance(tiny));
+  // ...but the headroom trigger still fires when capacity says so.
+  EXPECT_TRUE(planner.should_rebalance(tiny, 32));
+
+  RebalanceConfig off = config;
+  off.enabled = false;
+  RebalancePlanner disabled(off);
+  EXPECT_FALSE(disabled.should_rebalance(skewed));
+  EXPECT_FALSE(disabled.should_rebalance(tiny, 32));
+}
+
+TEST(RebalancePlannerTest, PlanStepNulloptWhenBalanced) {
+  RebalancePlanner planner;
+  const std::vector<std::size_t> even{100, 100, 100, 100};
+  EXPECT_FALSE(planner.plan_step(even).has_value());
+  const std::vector<std::size_t> off_by_remainder{101, 100, 100};
+  EXPECT_FALSE(planner.plan_step(off_by_remainder).has_value());
+}
+
+TEST(RebalancePlannerTest, PlanStepConvergesToEvenFromAnySkew) {
+  RebalancePlanner planner;
+  Pcg32 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.next_below(6);
+    std::vector<std::size_t> occupancy(n);
+    for (auto& o : occupancy) o = rng.next_below(2000);
+    // Simulate: every planned step must be executable as stated and the
+    // loop must terminate at the even targets.
+    for (int steps = 0; steps < 1000; ++steps) {
+      const auto step = planner.plan_step(occupancy);
+      if (!step) break;
+      ASSERT_TRUE(step->receiver == step->donor + 1 ||
+                  step->donor == step->receiver + 1);
+      ASSERT_GT(step->count, 0u);
+      ASSERT_LE(step->count, occupancy[step->donor]);
+      if (step->receiver < step->donor) {
+        // Leftward donors must keep their top entry.
+        ASSERT_LT(step->count, occupancy[step->donor]);
+      }
+      occupancy[step->donor] -= step->count;
+      occupancy[step->receiver] += step->count;
+    }
+    EXPECT_FALSE(planner.plan_step(occupancy).has_value());
+    const auto targets = RebalancePlanner::even_targets(occupancy);
+    EXPECT_EQ(occupancy, targets) << "trial " << trial;
+  }
+}
+
+TEST(RebalancePlannerTest, PlanStepHonorsEntryCap) {
+  RebalanceConfig config;
+  config.max_entries_per_step = 10;
+  RebalancePlanner planner(config);
+  const std::vector<std::size_t> occupancy{500, 100};
+  const auto step = planner.plan_step(occupancy);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->donor, 0u);
+  EXPECT_EQ(step->receiver, 1u);
+  EXPECT_EQ(step->count, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent runtime: migrations keep lookups exact, shed skew, and
+// preserve the DRed exclusion invariant.
+
+TEST(RebalanceTest, RuntimeShedsSkewUnderHotChurnAndStaysExact) {
+  const auto fib = make_fib(8'000, 2101);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  config.fifo_depth = 16;  // small FIFOs: hot lookups divert -> DRed fills
+  LookupRuntime runtime(fib, config);
+  ASSERT_FALSE(runtime.boundaries().empty());
+  const std::uint32_t bound = runtime.boundaries().front().value();
+
+  Pcg32 rng(2102);
+  // Warm the DReds with hot traffic so later migrations must uphold the
+  // exclusion invariant against populated caches.
+  std::vector<Ipv4Address> hot;
+  for (int i = 0; i < 8'192; ++i) hot.emplace_back(rng.next_below(bound));
+  runtime.lookup_batch(hot);
+
+  for (int u = 0; u < 2'000; ++u) {
+    runtime.apply(hot_announce(rng, bound));
+    if (u % 64 == 0) runtime.lookup_batch(hot);
+  }
+
+  const auto metrics = runtime.metrics();
+  EXPECT_GT(metrics.rebalance_passes, 0u) << "hot churn never tripped skew";
+  EXPECT_GT(metrics.entries_migrated, 0u);
+  EXPECT_EQ(metrics.updates_rejected, 0u);
+  runtime.rebalance_now();
+  EXPECT_LE(runtime.skew(), 1.25);
+
+  // Every lookup answer must match the ground truth exactly (the data
+  // plane is quiescent between batches).
+  const auto sweep = random_addresses(20'000, 2103);
+  const auto hops = runtime.lookup_batch(sweep);
+  const auto& truth = runtime.fib().ground_truth();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ASSERT_EQ(hops[i], truth.lookup(sweep[i]))
+        << "address " << sweep[i].to_string();
+  }
+
+  // DRed exclusion (§IV-C): after migrations, no worker's DRed caches a
+  // prefix that now homes on that same worker.
+  runtime.stop();
+  const auto& indexing = runtime.indexing();
+  for (std::size_t w = 0; w < runtime.worker_count(); ++w) {
+    const auto* dred = runtime.dred(w);
+    ASSERT_NE(dred, nullptr);
+    for (const auto& prefix : dred->contents()) {
+      EXPECT_NE(indexing.tcam_of(prefix.range_low()), w)
+          << "worker " << w << " caches its own " << prefix.to_string();
+    }
+  }
+}
+
+TEST(RebalanceTest, RebalanceNowIsNoopWhenAlreadyEven) {
+  const auto fib = make_fib(4'000, 2201);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  LookupRuntime runtime(fib, config);
+  EXPECT_EQ(runtime.rebalance_now(), 0u);
+  const auto metrics = runtime.metrics();
+  EXPECT_EQ(metrics.entries_migrated, 0u);
+}
+
+TEST(RebalanceTest, RuntimeRejectsOverflowAfterEmergencyRebalance) {
+  const auto fib = make_fib(1'000, 2301);
+  RuntimeConfig config;
+  config.worker_count = 2;
+  config.chip_capacity = 700;  // tight: full table ~>1000 entries
+  LookupRuntime runtime(fib, config);
+  ASSERT_FALSE(runtime.boundaries().empty());
+  const std::uint32_t bound = runtime.boundaries().front().value();
+
+  Pcg32 rng(2302);
+  bool rejected = false;
+  Prefix rejected_prefix;
+  for (int u = 0; u < 3'000 && !rejected; ++u) {
+    const auto msg = hot_announce(rng, bound);
+    try {
+      runtime.apply(msg);
+    } catch (const clue::tcam::TcamFullError& error) {
+      rejected = true;
+      rejected_prefix = msg.prefix;
+      EXPECT_EQ(error.capacity(), runtime.chip_capacity());
+    }
+  }
+  ASSERT_TRUE(rejected) << "capacity 700 x2 never filled";
+  const auto metrics = runtime.metrics();
+  EXPECT_GE(metrics.updates_rejected, 1u);
+  // The emergency path rebalanced before giving up.
+  EXPECT_GT(metrics.rebalance_passes, 0u);
+
+  // Rollback left trie, chips and DReds mutually consistent: the
+  // rejected prefix is not in the ground truth, and the data plane still
+  // answers exactly.
+  EXPECT_FALSE(
+      runtime.fib().ground_truth().find(rejected_prefix).has_value());
+  const auto sweep = random_addresses(10'000, 2303);
+  const auto hops = runtime.lookup_batch(sweep);
+  const auto& truth = runtime.fib().ground_truth();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ASSERT_EQ(hops[i], truth.lookup(sweep[i]));
+  }
+
+  // Still usable: withdrawals free space, then announces land again.
+  UpdateMsg withdraw;
+  withdraw.kind = UpdateKind::kWithdraw;
+  withdraw.prefix = rejected_prefix;  // absorbed (never made it in)
+  runtime.apply(withdraw);
+}
+
+// ---------------------------------------------------------------------------
+// Serial system mirror.
+
+TEST(RebalanceTest, SystemShedsSkewUnderHotChurnAndStaysExact) {
+  const auto fib = make_fib(8'000, 2401);
+  clue::system::SystemConfig config;
+  config.tcam_count = 4;
+  clue::system::ClueSystem system(fib, config);
+
+  Pcg32 rng(2402);
+  // The serial system homes addresses below the first boundary at chip 0
+  // just like the runtime; reuse the hottest /8s of the generated rib.
+  const std::uint32_t bound = 0x20000000u;
+  for (int u = 0; u < 2'000; ++u) {
+    system.apply(hot_announce(rng, bound));
+  }
+  system.rebalance_now();
+  EXPECT_LE(system.skew(), 1.25);
+  EXPECT_EQ(system.updates_rejected(), 0u);
+
+  const auto sweep = random_addresses(20'000, 2403);
+  const auto& truth = system.fib().ground_truth();
+  for (const auto address : sweep) {
+    ASSERT_EQ(system.lookup(address), truth.lookup(address))
+        << "address " << address.to_string();
+  }
+  // Chip contents and trie agree entry for entry (after splits).
+  EXPECT_GE(system.total_tcam_entries(), system.fib().size());
+
+  clue::obs::MetricsRegistry registry;
+  system.export_metrics(registry);
+  bool found_skew = false;
+  for (const auto& [name, value] : registry.gauges()) {
+    if (name == "system.skew") {
+      found_skew = true;
+      EXPECT_LE(value, 1.25);
+    }
+  }
+  EXPECT_TRUE(found_skew);
+}
+
+TEST(RebalanceTest, SystemRejectsOverflowAndRollsBackTrie) {
+  const auto fib = make_fib(1'000, 2501);
+  clue::system::SystemConfig config;
+  config.tcam_count = 2;
+  config.tcam_capacity = 700;
+  clue::system::ClueSystem system(fib, config);
+
+  Pcg32 rng(2502);
+  bool rejected = false;
+  Prefix rejected_prefix;
+  for (int u = 0; u < 3'000 && !rejected; ++u) {
+    const auto msg = hot_announce(rng, 0x20000000u);
+    try {
+      system.apply(msg);
+    } catch (const clue::tcam::TcamFullError&) {
+      rejected = true;
+      rejected_prefix = msg.prefix;
+    }
+  }
+  ASSERT_TRUE(rejected);
+  EXPECT_GE(system.updates_rejected(), 1u);
+  EXPECT_FALSE(
+      system.fib().ground_truth().find(rejected_prefix).has_value());
+
+  const auto sweep = random_addresses(10'000, 2503);
+  const auto& truth = system.fib().ground_truth();
+  for (const auto address : sweep) {
+    ASSERT_EQ(system.lookup(address), truth.lookup(address));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-chip pipeline: recoverable overflow.
+
+TEST(RebalanceTest, PipelineRejectsOverflowAndRollsBackTrie) {
+  const auto fib = make_fib(1'000, 2601);
+  clue::update::PipelineConfig config;
+  clue::update::CluePipeline sized(fib, config);  // probe the table size
+  config.tcam_capacity = sized.chip().occupied() + 2;
+  clue::update::CluePipeline pipeline(fib, config);
+
+  Pcg32 rng(2602);
+  bool rejected = false;
+  Prefix rejected_prefix;
+  for (int u = 0; u < 200 && !rejected; ++u) {
+    const auto msg = hot_announce(rng, 0xFFFFFFFFu);
+    try {
+      pipeline.apply(msg);
+    } catch (const clue::tcam::TcamFullError& error) {
+      rejected = true;
+      rejected_prefix = msg.prefix;
+      EXPECT_EQ(error.capacity(), pipeline.tcam_capacity());
+    }
+  }
+  ASSERT_TRUE(rejected);
+  EXPECT_EQ(pipeline.updates_rejected(), 1u);
+  EXPECT_FALSE(
+      pipeline.fib().ground_truth().find(rejected_prefix).has_value());
+
+  const auto sweep = random_addresses(10'000, 2603);
+  const auto& truth = pipeline.fib().ground_truth();
+  for (const auto address : sweep) {
+    ASSERT_EQ(pipeline.lookup(address), truth.lookup(address));
+  }
+
+  clue::obs::MetricsRegistry registry;
+  pipeline.export_metrics(registry);
+  bool found_headroom = false;
+  for (const auto& [name, value] : registry.gauges()) {
+    if (name == "pipeline.headroom_remaining") {
+      found_headroom = true;
+      EXPECT_GE(value, 0.0);
+      EXPECT_LE(value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_headroom);
+}
+
+// ---------------------------------------------------------------------------
+// The churn-soak: sustained skewed announce/withdraw churn applied from
+// a control thread while the client hammers lookups. Every answer must
+// match the ground truth of *some* update version the data plane could
+// have exposed during its batch (windowed oracle over a bounded ring of
+// recent versions), no apply may throw, and the final occupancy must be
+// even after rebalancing. CLUE_SOAK_UPDATES scales the run (ci/check.sh
+// sets 500000 in the soak stage; the default keeps ctest quick).
+
+std::size_t soak_updates() {
+  if (const char* env = std::getenv("CLUE_SOAK_UPDATES")) {
+    const auto parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 20'000;
+}
+
+TEST(RebalanceSoakTest, ChurnSoakKeepsSkewBoundedAndAnswersInWindow) {
+  const std::size_t kUpdates = soak_updates();
+  const auto fib = make_fib(4'000, 2701);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  config.fifo_depth = 64;
+  LookupRuntime runtime(fib, config);
+  ASSERT_FALSE(runtime.boundaries().empty());
+  const std::uint32_t bound = runtime.boundaries().front().value();
+
+  // Lookup pool: half uniform, half hot, so migrated regions stay under
+  // constant lookup pressure.
+  constexpr std::size_t kPool = 256;
+  std::vector<Ipv4Address> pool = random_addresses(kPool / 2, 2702);
+  {
+    Pcg32 rng(2703);
+    while (pool.size() < kPool) pool.emplace_back(rng.next_below(bound));
+  }
+
+  // Windowed oracle over the last kRing published versions. The control
+  // thread records each version's pool answers (release-published via
+  // `latest`); the client checks its batch against every version in
+  // [g0, g1]. Relaxed atomics keep the ring TSan-clean.
+  constexpr std::size_t kRing = 1024;
+  constexpr std::size_t kGuard = 64;  // overwrite safety margin
+  std::vector<std::array<std::atomic<std::uint32_t>, kPool>> ring(kRing);
+  std::atomic<std::uint64_t> latest{0};
+  const auto record = [&](std::uint64_t version,
+                          const clue::trie::BinaryTrie& truth) {
+    auto& slot = ring[version % kRing];
+    for (std::size_t i = 0; i < kPool; ++i) {
+      slot[i].store(static_cast<std::uint32_t>(truth.lookup(pool[i])),
+                    std::memory_order_relaxed);
+    }
+    latest.store(version, std::memory_order_release);
+  };
+  record(0, fib);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> apply_threw{false};
+  std::thread control([&] {
+    Pcg32 rng(2704);
+    std::vector<Prefix> hot_live;  // announced and not yet withdrawn
+    const std::size_t kHotTarget = 2'000;
+    std::uint64_t recorded = 0;
+    for (std::size_t u = 0; u < kUpdates; ++u) {
+      UpdateMsg msg;
+      const bool announce =
+          hot_live.size() < kHotTarget || rng.next_below(2) == 0;
+      if (announce) {
+        msg = hot_announce(rng, bound);
+        hot_live.push_back(msg.prefix);
+      } else {
+        const std::size_t pick = rng.next_below(
+            static_cast<std::uint32_t>(hot_live.size()));
+        msg.kind = UpdateKind::kWithdraw;
+        msg.prefix = hot_live[pick];
+        hot_live[pick] = hot_live.back();
+        hot_live.pop_back();
+      }
+      try {
+        runtime.apply(msg);
+      } catch (...) {
+        apply_threw.store(true, std::memory_order_release);
+        break;
+      }
+      const std::uint64_t completed = runtime.updates_completed();
+      if (completed > recorded) {
+        recorded = completed;
+        record(recorded, runtime.fib().ground_truth());
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  Pcg32 rng(2705);
+  std::size_t checked = 0;
+  std::size_t skipped = 0;
+  std::size_t mismatches = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    std::array<std::uint32_t, 128> picks;
+    std::vector<Ipv4Address> batch;
+    batch.reserve(picks.size());
+    for (auto& pick : picks) {
+      pick = rng.next_below(kPool);
+      batch.push_back(pool[pick]);
+    }
+    const std::uint64_t g0 = runtime.updates_completed();
+    const auto hops = runtime.lookup_batch(batch);
+    const std::uint64_t g1 = runtime.updates_started();
+    // The oracle for g1 is written slightly after apply() returns; wait
+    // for it (the control thread is actively publishing).
+    while (latest.load(std::memory_order_acquire) < g1 &&
+           !done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (latest.load(std::memory_order_acquire) < g1 ||
+        g1 - g0 >= kRing - kGuard) {
+      ++skipped;
+      continue;
+    }
+    std::size_t batch_mismatches = 0;
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      bool matched = false;
+      for (std::uint64_t v = g0; v <= g1 && !matched; ++v) {
+        matched = ring[v % kRing][picks[i]].load(
+                      std::memory_order_relaxed) ==
+                  static_cast<std::uint32_t>(hops[i]);
+      }
+      if (!matched) ++batch_mismatches;
+      ++checked;
+    }
+    // Discard the batch if the ring could have been overwritten under
+    // the comparison (client fell > kRing-kGuard versions behind).
+    if (runtime.updates_completed() >= g0 + (kRing - kGuard)) {
+      ++skipped;
+      checked -= picks.size();
+      continue;
+    }
+    mismatches += batch_mismatches;
+  }
+  control.join();
+
+  EXPECT_FALSE(apply_threw.load()) << "apply() threw during the soak";
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_GT(checked, 0u);
+
+  const auto metrics = runtime.metrics();
+  EXPECT_EQ(metrics.updates_rejected, 0u);
+  EXPECT_GT(metrics.rebalance_passes, 0u) << "soak never tripped a watermark";
+  EXPECT_GT(metrics.entries_migrated, 0u);
+
+  // Post-rebalance evenness (the ISSUE's acceptance bound).
+  runtime.rebalance_now();
+  EXPECT_LE(runtime.skew(), 1.25);
+
+  // Quiescent exact sweep + epoch accounting.
+  const auto sweep = random_addresses(10'000, 2706);
+  const auto hops = runtime.lookup_batch(sweep);
+  const auto& truth = runtime.fib().ground_truth();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ASSERT_EQ(hops[i], truth.lookup(sweep[i]))
+        << "address " << sweep[i].to_string();
+  }
+  runtime.reclaim();
+  const auto final_metrics = runtime.metrics();
+  EXPECT_EQ(final_metrics.tables_pending, 0u);
+  EXPECT_EQ(final_metrics.tables_reclaimed, final_metrics.tables_published);
+
+  // DRed exclusion survives the whole soak.
+  runtime.stop();
+  const auto& indexing = runtime.indexing();
+  for (std::size_t w = 0; w < runtime.worker_count(); ++w) {
+    const auto* dred = runtime.dred(w);
+    ASSERT_NE(dred, nullptr);
+    for (const auto& prefix : dred->contents()) {
+      EXPECT_NE(indexing.tcam_of(prefix.range_low()), w)
+          << "worker " << w << " caches its own " << prefix.to_string();
+    }
+  }
+}
+
+}  // namespace

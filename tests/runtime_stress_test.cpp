@@ -249,6 +249,103 @@ TEST(LookupRuntimeTest, ConcurrentUpdatesAndLookupsWindowedOracle) {
   EXPECT_EQ(m.tables_reclaimed, m.tables_published);
 }
 
+// Same windowed oracle, but the updates are all hot announces into chip
+// 0's range, so boundary migrations run *while* the oracle batches are
+// in flight — every intermediate epoch of the migration protocol must
+// answer from some version in the window.
+TEST(LookupRuntimeTest, SkewedChurnWindowedOracleAcrossRebalances) {
+  const auto fib = make_fib(8'000, 1717);
+  RuntimeConfig config;
+  config.worker_count = 4;
+  LookupRuntime runtime(fib, config);
+  ASSERT_FALSE(runtime.boundaries().empty());
+  const std::uint32_t bound = runtime.boundaries().front().value();
+
+  constexpr std::size_t kUpdates = 600;
+  constexpr std::size_t kPool = 2048;
+  // Half the pool hot, so migrated entries are constantly looked up.
+  std::vector<Ipv4Address> pool = random_addresses(kPool / 2, 1818);
+  {
+    Pcg32 rng(1819);
+    while (pool.size() < kPool) pool.emplace_back(rng.next_below(bound));
+  }
+
+  std::vector<std::vector<NextHop>> oracles(kUpdates + 1);
+  auto snapshot_answers = [&pool](const clue::trie::BinaryTrie& t) {
+    std::vector<NextHop> answers;
+    answers.reserve(pool.size());
+    for (const auto address : pool) answers.push_back(t.lookup(address));
+    return answers;
+  };
+  oracles[0] = snapshot_answers(fib);
+
+  std::atomic<bool> done{false};
+  std::thread control([&] {
+    Pcg32 rng(1919);
+    std::uint64_t recorded = 0;
+    while (recorded < kUpdates) {
+      clue::workload::UpdateMsg msg;
+      msg.kind = clue::workload::UpdateKind::kAnnounce;
+      msg.prefix = clue::netbase::Prefix(
+          Ipv4Address(rng.next_below(bound)), 24);
+      msg.next_hop = clue::netbase::make_next_hop(1 + rng.next_below(250));
+      runtime.apply(msg);
+      const std::uint64_t completed = runtime.updates_completed();
+      if (completed > recorded) {
+        recorded = completed;
+        oracles[recorded] = snapshot_answers(runtime.fib().ground_truth());
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  struct BatchLog {
+    std::uint64_t g0;
+    std::uint64_t g1;
+    std::vector<std::uint32_t> picks;
+    std::vector<NextHop> hops;
+  };
+  std::vector<BatchLog> log;
+  Pcg32 rng(2020);
+  while (!done.load(std::memory_order_acquire) && log.size() < 1500) {
+    BatchLog entry;
+    entry.picks.reserve(256);
+    std::vector<Ipv4Address> batch;
+    batch.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      const std::uint32_t pick = rng.next_below(kPool);
+      entry.picks.push_back(pick);
+      batch.push_back(pool[pick]);
+    }
+    entry.g0 = runtime.updates_completed();
+    entry.hops = runtime.lookup_batch(batch);
+    entry.g1 = runtime.updates_started();
+    log.push_back(std::move(entry));
+  }
+  control.join();
+
+  // The whole point: skew crossed the watermark and entries migrated
+  // while lookups were being answered.
+  const auto m = runtime.metrics();
+  EXPECT_GT(m.rebalance_steps, 0u) << "600 hot announces never rebalanced";
+  EXPECT_GT(m.entries_migrated, 0u);
+
+  ASSERT_FALSE(log.empty());
+  for (const auto& entry : log) {
+    ASSERT_LE(entry.g1, kUpdates);
+    for (std::size_t i = 0; i < entry.picks.size(); ++i) {
+      bool matched = false;
+      for (std::uint64_t v = entry.g0; v <= entry.g1 && !matched; ++v) {
+        matched = oracles[v][entry.picks[i]] == entry.hops[i];
+      }
+      EXPECT_TRUE(matched)
+          << "address " << pool[entry.picks[i]].to_string()
+          << " answered outside update window [" << entry.g0 << ", "
+          << entry.g1 << "]";
+    }
+  }
+}
+
 TEST(LookupRuntimeTest, ClueSystemRuntimeEntryPointAgrees) {
   const auto fib = make_fib(10'000, 1515);
   clue::system::SystemConfig system_config;
