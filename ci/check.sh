@@ -48,7 +48,7 @@ run_tsan() {
   CLUE_SOAK_UPDATES="${CLUE_TSAN_SOAK_UPDATES:-5000}" \
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest|RebalancePlannerTest|RebalanceTest|RebalanceSoakTest'
+      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|FlatTableTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest|RebalancePlannerTest|RebalanceTest|RebalanceSoakTest'
 }
 
 run_smoke() {
@@ -63,6 +63,10 @@ run_smoke() {
     echo "smoke: JSON export missing" >&2
     exit 1
   }
+  [ -s "$out/BENCH_runtime.json" ] || {
+    echo "smoke: BENCH_runtime.json export missing" >&2
+    exit 1
+  }
   [ -s "$out/runtime_throughput.csv" ] || {
     echo "smoke: CSV export missing" >&2
     exit 1
@@ -72,12 +76,17 @@ run_smoke() {
       echo "smoke: exported JSON does not parse" >&2
       exit 1
     }
-    python3 - "$out/runtime_throughput.json" <<'EOF'
+    python3 - "$out/BENCH_runtime.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["histograms"], "no histograms exported"
 assert any(".service_ns" in k for k in doc["histograms"]), "no worker histograms"
 assert "ttf_traces" in doc, "no TTF trace section"
+gauges = doc["gauges"]
+for key in ("flat_ab.speedup", "flat_ab.flat_mlookups_per_s",
+            "flat_ab.trie_mlookups_per_s", "flat_ab.runtime_speedup"):
+    assert key in gauges, f"missing {key} gauge"
+assert gauges["flat_ab.speedup"] > 0, "flat A/B did not run"
 EOF
   else
     echo "smoke: python3 not found, skipping JSON parse check"

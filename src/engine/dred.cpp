@@ -1,19 +1,48 @@
 #include "engine/dred.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace clue::engine {
+
+namespace {
+
+/// Knuth multiplicative hash; the high bits are the well-mixed ones, so
+/// the slot index is taken from above bit 16 (cache sizes stay <= 2^12).
+std::size_t addr_slot_index(Ipv4Address address, std::uint32_t mask) {
+  return static_cast<std::size_t>((address.value() * 2654435761u) >> 16) &
+         mask;
+}
+
+}  // namespace
 
 DredStore::DredStore(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("DredStore: capacity must be > 0");
   }
+  const std::size_t slots =
+      std::bit_ceil(std::clamp<std::size_t>(capacity, 256, 4096));
+  addr_cache_.resize(slots);
+  addr_mask_ = static_cast<std::uint32_t>(slots - 1);
 }
 
 std::optional<NextHop> DredStore::lookup(Ipv4Address address) {
   ++stats_.lookups;
+  AddrSlot& slot = addr_cache_[addr_slot_index(address, addr_mask_)];
+  if (slot.stamp == stamp_ && slot.address == address) {
+    if (!slot.hit) return std::nullopt;
+    ++stats_.hits;
+    touch(index_.at(slot.prefix));
+    return slot.hop;
+  }
   const auto route = match_.lookup_route(address);
+  slot.address = address;
+  slot.stamp = stamp_;
+  slot.hit = route.has_value();
   if (!route) return std::nullopt;
+  slot.prefix = route->prefix;
+  slot.hop = route->next_hop;
   ++stats_.hits;
   touch(index_.at(route->prefix));
   return route->next_hop;
@@ -27,11 +56,13 @@ void DredStore::insert(const Route& route) {
     if (it->second->next_hop != route.next_hop) {
       it->second->next_hop = route.next_hop;
       match_.insert(route.prefix, route.next_hop);
+      invalidate_addr_cache();
     }
     touch(it->second);
     ++stats_.updates;
     return;
   }
+  invalidate_addr_cache();
   if (entries_.size() == capacity_) {
     const Route& victim = entries_.back();
     match_.erase(victim.prefix);
@@ -51,6 +82,7 @@ bool DredStore::fix(const Route& route) {
   if (it->second->next_hop != route.next_hop) {
     it->second->next_hop = route.next_hop;
     match_.insert(route.prefix, route.next_hop);
+    invalidate_addr_cache();
   }
   ++stats_.updates;
   return true;
@@ -62,6 +94,7 @@ bool DredStore::erase(const Prefix& prefix) {
   entries_.erase(it->second);
   index_.erase(it);
   match_.erase(prefix);
+  invalidate_addr_cache();
   ++stats_.erasures;
   return true;
 }
@@ -92,6 +125,15 @@ std::vector<Prefix> DredStore::overlapping(const Prefix& prefix) const {
 
 void DredStore::touch(std::list<Route>::iterator it) {
   entries_.splice(entries_.begin(), entries_, it);
+}
+
+void DredStore::invalidate_addr_cache() {
+  if (++stamp_ == 0) {
+    // Stamp wrapped: a stale slot could now collide with the fresh
+    // stamp, so scrub the slots before reusing stamp values.
+    for (auto& slot : addr_cache_) slot = AddrSlot{};
+    stamp_ = 1;
+  }
 }
 
 }  // namespace clue::engine

@@ -24,6 +24,17 @@ using netbase::NextHop;
 using netbase::Prefix;
 using netbase::Route;
 
+// On the runtime's diverted-lookup path every DRed probe walks the
+// match trie (~32 dependent loads). Diverted traffic is skewed by
+// construction — the §III-B rule sends hot overflow — so a small
+// direct-mapped address cache in front of the trie answers repeats in
+// one load. One store-wide stamp invalidates the whole cache on any
+// answer-changing mutation (fresh insert, hop rewrite, erase):
+// correctness never depends on per-entry bookkeeping, and re-offering
+// an already-cached identical route — the common fill — leaves the
+// cache intact. Negative results (no covering prefix) are cached too.
+// Stats and exact LRU order are preserved: a cached hit counts and
+// promotes exactly like a trie hit.
 class DredStore {
  public:
   struct Stats {
@@ -85,13 +96,28 @@ class DredStore {
   }
 
  private:
+  /// One memoised LPM answer: address -> (covering prefix, hop) or a
+  /// remembered miss. Valid only while `stamp` matches the store's.
+  struct AddrSlot {
+    Ipv4Address address{0};
+    Prefix prefix{};
+    NextHop hop = netbase::kNoRoute;
+    std::uint32_t stamp = 0;
+    bool hit = false;
+  };
+
   void touch(std::list<Route>::iterator it);
+  /// Any mutation: every cached answer may now be wrong.
+  void invalidate_addr_cache();
 
   std::size_t capacity_;
   std::list<Route> entries_;  // front = most recently used
   std::unordered_map<Prefix, std::list<Route>::iterator> index_;
   trie::BinaryTrie match_;
   Stats stats_;
+  std::vector<AddrSlot> addr_cache_;
+  std::uint32_t addr_mask_ = 0;
+  std::uint32_t stamp_ = 1;  // 0 is "never valid" in the slots
 };
 
 }  // namespace clue::engine

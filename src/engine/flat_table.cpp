@@ -1,0 +1,257 @@
+#include "engine/flat_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace clue::engine {
+
+namespace {
+
+std::shared_ptr<std::uint32_t[]> make_block(std::size_t entries) {
+  // Value-initialised: every slot starts as kNoRoute (0).
+  return std::shared_ptr<std::uint32_t[]>(new std::uint32_t[entries]());
+}
+
+}  // namespace
+
+void FlatLookupTable::validate_config(const FlatTableConfig& config) {
+  if (config.stride < 8 || config.stride > 28) {
+    throw std::invalid_argument("FlatLookupTable: stride must be in [8, 28]");
+  }
+  if (config.chunk_bits < 4 || config.chunk_bits > config.stride) {
+    throw std::invalid_argument(
+        "FlatLookupTable: chunk_bits must be in [4, stride]");
+  }
+  stride_ = config.stride;
+  l2_bits_ = 32u - stride_;
+  chunk_bits_ = config.chunk_bits;
+  chunk_entries_ = std::size_t{1} << chunk_bits_;
+  chunk_mask_ = static_cast<std::uint32_t>(chunk_entries_ - 1);
+  l2_entries_ = std::size_t{1} << l2_bits_;
+  l2_mask_ = static_cast<std::uint32_t>(l2_entries_ - 1);
+  chunks_.assign(std::size_t{1} << (stride_ - chunk_bits_), nullptr);
+}
+
+FlatLookupTable::FlatLookupTable(const trie::BinaryTrie& table,
+                                 const FlatTableConfig& config) {
+  validate_config(config);
+  if (!table.is_disjoint()) {
+    throw std::invalid_argument(
+        "FlatLookupTable: route set must be non-overlapping");
+  }
+  Builder b{std::vector<bool>(chunks_.size(), false)};
+  repaint(table, Prefix{}, b);  // /0 = paint the whole space
+}
+
+FlatLookupTable::FlatLookupTable(const FlatLookupTable& prev,
+                                 const trie::BinaryTrie& table,
+                                 std::span<const Prefix> dirty)
+    : stride_(prev.stride_),
+      l2_bits_(prev.l2_bits_),
+      chunk_bits_(prev.chunk_bits_),
+      chunk_mask_(prev.chunk_mask_),
+      l2_mask_(prev.l2_mask_),
+      l2_entries_(prev.l2_entries_),
+      chunk_entries_(prev.chunk_entries_),
+      chunks_(prev.chunks_),
+      l2_(prev.l2_),
+      l2_free_(prev.l2_free_) {
+  Builder b{std::vector<bool>(chunks_.size(), false)};
+  for (const Prefix& prefix : dirty) repaint(table, prefix, b);
+}
+
+std::uint32_t FlatLookupTable::encode_hop(NextHop hop) {
+  const std::uint32_t value = netbase::to_index(hop);
+  if (value & kL2Flag) {
+    throw std::invalid_argument(
+        "FlatLookupTable: next hop does not fit in 31 bits");
+  }
+  return value;
+}
+
+std::uint32_t* FlatLookupTable::writable_chunk(std::size_t slot_chunk,
+                                               Builder& b) {
+  if (b.owned[slot_chunk]) return chunks_[slot_chunk].get();
+  ChunkPtr fresh = make_block(chunk_entries_);
+  if (chunks_[slot_chunk]) {
+    std::memcpy(fresh.get(), chunks_[slot_chunk].get(),
+                chunk_entries_ * sizeof(std::uint32_t));
+  }
+  chunks_[slot_chunk] = std::move(fresh);
+  b.owned[slot_chunk] = true;
+  return chunks_[slot_chunk].get();
+}
+
+void FlatLookupTable::release_l2(std::uint32_t entry) {
+  const std::uint32_t id = entry & ~kL2Flag;
+  l2_[id].reset();
+  l2_free_.push_back(id);
+}
+
+std::uint32_t FlatLookupTable::alloc_l2(ChunkPtr block) {
+  if (!l2_free_.empty()) {
+    const std::uint32_t id = l2_free_.back();
+    l2_free_.pop_back();
+    l2_[id] = std::move(block);
+    return id;
+  }
+  if (l2_.size() >= kL2Flag) {
+    throw std::length_error("FlatLookupTable: level-2 block id overflow");
+  }
+  l2_.push_back(std::move(block));
+  return static_cast<std::uint32_t>(l2_.size() - 1);
+}
+
+void FlatLookupTable::fill_direct(std::uint32_t lo, std::uint32_t hi,
+                                  std::uint32_t entry, Builder& b) {
+  std::uint32_t slot = lo;
+  while (slot <= hi) {
+    const std::size_t chunk = slot >> chunk_bits_;
+    const std::uint32_t in_lo = slot & chunk_mask_;
+    const std::uint32_t chunk_last =
+        static_cast<std::uint32_t>((chunk << chunk_bits_) | chunk_mask_);
+    const std::uint32_t in_hi = std::min(hi, chunk_last) & chunk_mask_;
+    if (!chunks_[chunk]) {
+      if (entry != 0) {
+        std::uint32_t* p = writable_chunk(chunk, b);
+        std::fill(p + in_lo, p + in_hi + 1, entry);
+      }
+      // Null chunk overwritten with no-route: already there.
+    } else {
+      // Free any level-2 blocks this fill overwrites (readable through
+      // the shared pointer even before copy-on-write).
+      const std::uint32_t* read = chunks_[chunk].get();
+      for (std::uint32_t i = in_lo; i <= in_hi; ++i) {
+        if (read[i] & kL2Flag) release_l2(read[i]);
+      }
+      // A chunk that ends up all-zero drops back to the null
+      // representation, so cleared address space costs nothing again.
+      const bool whole = in_lo == 0 && in_hi == chunk_mask_;
+      const bool rest_zero =
+          whole ||
+          (entry == 0 &&
+           std::all_of(read, read + in_lo,
+                       [](std::uint32_t v) { return v == 0; }) &&
+           std::all_of(read + in_hi + 1, read + chunk_entries_,
+                       [](std::uint32_t v) { return v == 0; }));
+      if (entry == 0 && rest_zero) {
+        chunks_[chunk] = nullptr;
+        b.owned[chunk] = false;
+      } else {
+        std::uint32_t* p = writable_chunk(chunk, b);
+        std::fill(p + in_lo, p + in_hi + 1, entry);
+      }
+    }
+    if (chunk_last == hi || chunk_last >= (std::uint32_t{1} << stride_) - 1) {
+      break;
+    }
+    slot = chunk_last + 1;
+  }
+}
+
+void FlatLookupTable::paint(const netbase::Route& route, Builder& b) {
+  const std::uint32_t hop = encode_hop(route.next_hop);
+  const std::uint32_t lo = route.prefix.range_low().value();
+  const std::uint32_t hi = route.prefix.range_high().value();
+  if (route.prefix.length() <= stride_) {
+    fill_direct(lo >> l2_bits_, hi >> l2_bits_, hop, b);
+    return;
+  }
+  // Longer than the stride: the route lives inside one level-1 slot.
+  const std::uint32_t slot = lo >> l2_bits_;
+  std::uint32_t* p = writable_chunk(slot >> chunk_bits_, b);
+  std::uint32_t& entry = p[slot & chunk_mask_];
+  std::uint32_t* block = nullptr;
+  if (entry & kL2Flag) {
+    // Only blocks created by this repaint pass can be seen here (the
+    // region was cleared first), so in-place mutation is safe.
+    block = l2_[entry & ~kL2Flag].get();
+  } else {
+    ChunkPtr fresh = make_block(l2_entries_);
+    block = fresh.get();
+    if (entry != 0) std::fill(block, block + l2_entries_, entry);
+    entry = kL2Flag | alloc_l2(std::move(fresh));
+  }
+  std::fill(block + (lo & l2_mask_), block + (hi & l2_mask_) + 1, hop);
+}
+
+void FlatLookupTable::recompute_slot(const trie::BinaryTrie& table,
+                                     std::uint32_t slot, Builder& b) {
+  const Prefix block_prefix(Ipv4Address(slot << l2_bits_), stride_);
+  // A route no longer than the stride that matches the block's first
+  // address covers the whole block (non-overlap: nothing else can).
+  const auto cover = table.lookup_route(block_prefix.range_low());
+  if (cover && cover->prefix.length() <= stride_) {
+    fill_direct(slot, slot, encode_hop(cover->next_hop), b);
+    return;
+  }
+  const auto inside = table.routes_within(block_prefix);
+  if (inside.empty()) {
+    fill_direct(slot, slot, 0, b);
+    return;
+  }
+  ChunkPtr fresh = make_block(l2_entries_);
+  std::uint32_t* block = fresh.get();
+  for (const auto& route : inside) {
+    const std::uint32_t hop = encode_hop(route.next_hop);
+    const std::uint32_t lo = route.prefix.range_low().value() & l2_mask_;
+    const std::uint32_t hi = route.prefix.range_high().value() & l2_mask_;
+    std::fill(block + lo, block + hi + 1, hop);
+  }
+  // Uniform blocks (e.g. after deletes merged the survivors) collapse
+  // back to a direct entry — keeps level-2 memory from ratcheting up.
+  const bool uniform =
+      std::all_of(block, block + l2_entries_,
+                  [&](std::uint32_t v) { return v == block[0]; });
+  if (uniform) {
+    fill_direct(slot, slot, block[0], b);
+    return;
+  }
+  std::uint32_t* p = writable_chunk(slot >> chunk_bits_, b);
+  std::uint32_t& entry = p[slot & chunk_mask_];
+  if (entry & kL2Flag) release_l2(entry);
+  entry = kL2Flag | alloc_l2(std::move(fresh));
+}
+
+void FlatLookupTable::repaint(const trie::BinaryTrie& table,
+                              const Prefix& dirty, Builder& b) {
+  if (dirty.length() > stride_) {
+    recompute_slot(table, dirty.range_low().value() >> l2_bits_, b);
+    return;
+  }
+  const std::uint32_t lo = dirty.range_low().value() >> l2_bits_;
+  const std::uint32_t hi = dirty.range_high().value() >> l2_bits_;
+  // A stored route at or above the dirty prefix covers the whole region
+  // (non-overlap again): paint it directly and stop.
+  const auto cover = table.lookup_route(dirty.range_low());
+  if (cover && cover->prefix.length() <= dirty.length()) {
+    fill_direct(lo, hi, encode_hop(cover->next_hop), b);
+    return;
+  }
+  fill_direct(lo, hi, 0, b);
+  for (const auto& route : table.routes_within(dirty)) paint(route, b);
+}
+
+std::size_t FlatLookupTable::memory_bytes() const {
+  std::size_t bytes = chunks_.capacity() * sizeof(ChunkPtr) +
+                      l2_.capacity() * sizeof(ChunkPtr) +
+                      l2_free_.capacity() * sizeof(std::uint32_t);
+  bytes += chunk_count() * chunk_entries_ * sizeof(std::uint32_t);
+  bytes += l2_block_count() * l2_entries_ * sizeof(std::uint32_t);
+  return bytes;
+}
+
+std::size_t FlatLookupTable::chunk_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(chunks_.begin(), chunks_.end(),
+                    [](const ChunkPtr& c) { return c != nullptr; }));
+}
+
+std::size_t FlatLookupTable::l2_block_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(l2_.begin(), l2_.end(),
+                    [](const ChunkPtr& c) { return c != nullptr; }));
+}
+
+}  // namespace clue::engine

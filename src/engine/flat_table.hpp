@@ -1,0 +1,158 @@
+// FlatLookupTable — a DIR-24-8-style direct-index image of one chip's
+// non-overlapping table.
+//
+// The ONRTC invariant (every address matches at most one stored prefix)
+// is what makes this structure trivial to build: there is no priority
+// resolution, so a route can simply be *painted* over the address range
+// it covers. Lookup collapses the trie's ~32 dependent node loads into
+// one or two array loads:
+//
+//   level 1  one 32-bit entry per 2^(32-stride) addresses (stride 24 by
+//            default, the classic Gupta/Lin/McKeown layout). An entry is
+//            either a next hop directly (prefixes no longer than the
+//            stride) or, top bit set, the id of a level-2 block.
+//   level 2  one 32-bit next hop per address suffix, only for level-1
+//            slots that contain prefixes longer than the stride.
+//
+// Snapshots are immutable — the runtime publishes one per chip-table
+// version behind the same epoch-swapped pointer as the trie — but a
+// full repaint per BGP update would move megabytes per publish. Instead
+// the level-1 array is split into fixed chunks held by shared_ptr:
+// rebuilding for an update copies the chunk pointer vector (structural
+// sharing) and copy-on-writes only the chunks under the update's dirty
+// prefixes, so rebuild cost tracks the size of the diff, not of the
+// address space. A null chunk means "all no-route", which also keeps
+// empty address space free.
+//
+// Thread-safety: const after construction; safe to read from any number
+// of threads once publication of the owning pointer synchronises with
+// the readers (the runtime's epoch swap does).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace clue::engine {
+
+struct FlatTableConfig {
+  /// Level-1 index bits (8..28). 24 = DIR-24-8: 16M /24 slots, 256-wide
+  /// level-2 blocks. Smaller strides trade memory for more level-2
+  /// indirections.
+  unsigned stride = 24;
+  /// log2 of level-1 entries per copy-on-write chunk (4..stride). The
+  /// default 4096-entry chunk (16 KiB) keeps the per-rebuild pointer
+  /// copy at 2^(stride-chunk_bits) shared_ptrs.
+  unsigned chunk_bits = 12;
+};
+
+class FlatLookupTable {
+ public:
+  using Ipv4Address = netbase::Ipv4Address;
+  using NextHop = netbase::NextHop;
+  using Prefix = netbase::Prefix;
+
+  /// Full build from a non-overlapping table. Throws
+  /// std::invalid_argument on a bad config, an overlapping route set, or
+  /// a next hop the entry encoding cannot hold (see hop_encodable).
+  explicit FlatLookupTable(const trie::BinaryTrie& table,
+                           const FlatTableConfig& config = {});
+
+  /// Copy-on-write rebuild: semantically a full build from `table`, but
+  /// every level-1 chunk outside the `dirty` prefixes is shared with
+  /// `prev`. Precondition: `prev` was built from a table that agrees
+  /// with `table` everywhere outside `dirty` (the runtime passes the
+  /// previous snapshot plus the update's own diff regions).
+  FlatLookupTable(const FlatLookupTable& prev, const trie::BinaryTrie& table,
+                  std::span<const Prefix> dirty);
+
+  FlatLookupTable(const FlatLookupTable&) = delete;
+  FlatLookupTable& operator=(const FlatLookupTable&) = delete;
+
+  /// The 1-2 load hot path. kNoRoute when no prefix covers `address`.
+  NextHop lookup(Ipv4Address address) const {
+    const std::uint32_t slot = address.value() >> l2_bits_;
+    const std::uint32_t* chunk = chunks_[slot >> chunk_bits_].get();
+    if (!chunk) return netbase::kNoRoute;
+    const std::uint32_t entry = chunk[slot & chunk_mask_];
+    if (!(entry & kL2Flag)) return NextHop{entry};
+    return NextHop{l2_[entry & ~kL2Flag].get()[address.value() & l2_mask_]};
+  }
+
+  /// Requests the level-1 entry's cache line ahead of lookup(); the
+  /// worker loop issues this across a whole job batch before resolving
+  /// so the (tens of MB, cache-cold) array loads overlap.
+  void prefetch(Ipv4Address address) const {
+    const std::uint32_t slot = address.value() >> l2_bits_;
+    const std::uint32_t* chunk = chunks_[slot >> chunk_bits_].get();
+    if (chunk) __builtin_prefetch(&chunk[slot & chunk_mask_], 0, 1);
+  }
+
+  /// Entries hold next hops in 31 bits; the top bit flags a level-2
+  /// block id. Hops with the top bit set cannot be stored.
+  static bool hop_encodable(NextHop hop) {
+    return (netbase::to_index(hop) & kL2Flag) == 0;
+  }
+
+  unsigned stride() const { return stride_; }
+  /// Heap bytes held by this snapshot (chunks it references, shared or
+  /// not, plus level-2 blocks and the pointer vectors).
+  std::size_t memory_bytes() const;
+  /// Allocated (non-null) level-1 chunks / live level-2 blocks.
+  std::size_t chunk_count() const;
+  std::size_t l2_block_count() const;
+
+ private:
+  static constexpr std::uint32_t kL2Flag = 0x8000'0000u;
+
+  using ChunkPtr = std::shared_ptr<std::uint32_t[]>;
+
+  /// Rebuild-time state: which chunks this rebuild already owns (may
+  /// mutate) vs. still shares with the previous snapshot.
+  struct Builder {
+    std::vector<bool> owned;
+  };
+
+  void validate_config(const FlatTableConfig& config);
+  /// Chunk writable by this rebuild; allocates (zero or copy) on first
+  /// touch. `slot_chunk` is the chunk index.
+  std::uint32_t* writable_chunk(std::size_t slot_chunk, Builder& b);
+  /// Repaints everything under `dirty` from `table` (clears first).
+  void repaint(const trie::BinaryTrie& table, const Prefix& dirty,
+               Builder& b);
+  /// Recomputes the single level-1 slot `slot` (a /stride block) from
+  /// `table`, collapsing uniform level-2 blocks back to direct entries.
+  void recompute_slot(const trie::BinaryTrie& table, std::uint32_t slot,
+                      Builder& b);
+  /// Sets level-1 slots [lo, hi] to the direct value `entry`, freeing
+  /// any level-2 blocks they referenced. Whole-chunk clears to 0 drop
+  /// the chunk back to null.
+  void fill_direct(std::uint32_t lo, std::uint32_t hi, std::uint32_t entry,
+                   Builder& b);
+  /// Paints one route (already validated) over its slots.
+  void paint(const netbase::Route& route, Builder& b);
+  void release_l2(std::uint32_t entry);
+  std::uint32_t alloc_l2(ChunkPtr block);
+  static std::uint32_t encode_hop(NextHop hop);
+
+  unsigned stride_ = 0;
+  unsigned l2_bits_ = 0;       // 32 - stride
+  unsigned chunk_bits_ = 0;
+  std::uint32_t chunk_mask_ = 0;
+  std::uint32_t l2_mask_ = 0;
+  std::size_t l2_entries_ = 0;  // 2^l2_bits
+  std::size_t chunk_entries_ = 0;
+
+  /// Level 1, chunked: chunks_[slot >> chunk_bits][slot & chunk_mask].
+  /// Null chunk = every slot kNoRoute.
+  std::vector<ChunkPtr> chunks_;
+  /// Level-2 blocks by id; freed slots are null and listed in l2_free_.
+  std::vector<ChunkPtr> l2_;
+  std::vector<std::uint32_t> l2_free_;
+};
+
+}  // namespace clue::engine

@@ -230,10 +230,10 @@ EngineMetrics ParallelEngine::run(
         metrics.completed_during_arrivals = metrics.packets_completed;
       }
     }
-    if (reorder_) reorder_->drain(metrics.clocks);
+    if (reorder_) reorder_->drain_into(metrics.clocks, reorder_scratch_);
   }
   if (reorder_) {
-    reorder_->drain(metrics.clocks + 1);
+    reorder_->drain_into(metrics.clocks + 1, reorder_scratch_);
     metrics.reorder_max_occupancy = reorder_->stats().max_occupancy;
     metrics.reorder_mean_hold_clocks = reorder_->stats().mean_hold_clocks();
   }

@@ -172,6 +172,9 @@ class ParallelEngine {
   std::uint64_t highest_completed_ = 0;
   bool any_completed_ = false;
   std::optional<ReorderBuffer> reorder_;
+  // Reused per-tick drain output; the released entries themselves are
+  // only needed for stats, which drain_into accumulates internally.
+  std::vector<ReorderBuffer::Released> reorder_scratch_;
   std::size_t next_stall_chip_ = 0;
   std::vector<std::vector<std::size_t>> bucket_homes_;  // kSlpl only
 };

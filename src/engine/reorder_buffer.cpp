@@ -24,6 +24,13 @@ void ReorderBuffer::accept(std::uint64_t sequence, netbase::NextHop next_hop,
 std::vector<ReorderBuffer::Released> ReorderBuffer::drain(
     std::uint64_t clock) {
   std::vector<Released> out;
+  drain_into(clock, out);
+  return out;
+}
+
+std::size_t ReorderBuffer::drain_into(std::uint64_t clock,
+                                      std::vector<Released>& out) {
+  out.clear();
   for (auto it = parked_.begin();
        it != parked_.end() && it->first == next_release_;
        it = parked_.erase(it)) {
@@ -33,7 +40,7 @@ std::vector<ReorderBuffer::Released> ReorderBuffer::drain(
     ++stats_.released;
     ++next_release_;
   }
-  return out;
+  return out.size();
 }
 
 }  // namespace clue::engine

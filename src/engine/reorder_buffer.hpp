@@ -52,6 +52,13 @@ class ReorderBuffer {
   /// Releases every packet that is now in order, stamped with `clock`.
   std::vector<Released> drain(std::uint64_t clock);
 
+  /// Allocation-free drain for per-tick callers: clears `out`, fills it
+  /// with the in-order releases (reusing its capacity), and returns how
+  /// many were released. The engine calls this once per simulated clock,
+  /// so a fresh vector per call would dominate the simulator's heap
+  /// traffic.
+  std::size_t drain_into(std::uint64_t clock, std::vector<Released>& out);
+
   /// Sequences accepted but not yet releasable.
   std::size_t occupancy() const { return parked_.size(); }
   std::uint64_t next_release_sequence() const { return next_release_; }

@@ -90,7 +90,9 @@ void json_ttf_entry(std::ostream& os, const TtfTraceEntry& e) {
   os << ",\"rebalance_ns\":";
   json_number(os, e.rebalance_ns);
   os << ",\"rebalance_steps\":" << e.rebalance_steps
-     << ",\"entries_migrated\":" << e.entries_migrated << '}';
+     << ",\"entries_migrated\":" << e.entries_migrated << ",\"flat_ns\":";
+  json_number(os, e.flat_ns);
+  os << '}';
 }
 
 }  // namespace

@@ -35,6 +35,9 @@ struct TtfTraceEntry {
   double rebalance_ns = 0;            ///< boundary-rebalance span (0 = none)
   std::uint32_t rebalance_steps = 0;  ///< migrations run by this update
   std::uint32_t entries_migrated = 0; ///< entries those migrations moved
+  /// Flat-image rebuild span inside TTF2 (0 = flat path off or no chip
+  /// republished).
+  double flat_ns = 0;
 
   double total_ns() const { return ttf1_ns + ttf2_ns + ttf3_ns; }
 };

@@ -20,6 +20,13 @@ double elapsed_ns(Clock::time_point start) {
       .count();
 }
 
+// Batch sizes for the ring drains: large enough to amortise the cursor
+// atomics and overlap flat-table prefetches across a batch, small
+// enough to keep per-job latency and fence granularity low.
+constexpr std::size_t kWorkerBatch = 32;   // jobs popped per worker pass
+constexpr std::size_t kDrainBatch = 64;    // completions popped per pass
+constexpr std::size_t kClientStage = 256;  // addresses staged per pass
+
 inline void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)
   __builtin_ia32_pause();
@@ -53,6 +60,12 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
   }
   sample_enabled_ = config.latency_sample_every > 0;
   sample_mask_ = sample_enabled_ ? config.latency_sample_every - 1 : 0;
+  if (config.fill_sample_every & (config.fill_sample_every - 1)) {
+    throw std::invalid_argument(
+        "LookupRuntime: fill_sample_every must be a power of two or 0");
+  }
+  fill_sample_enabled_ = config.fill_sample_every > 0;
+  fill_mask_ = fill_sample_enabled_ ? config.fill_sample_every - 1 : 0;
   dred_enabled_ = config.dred_capacity > 0 && config.worker_count > 1;
 
   const auto table = fib_.compressed().routes();
@@ -102,11 +115,17 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
     for (const auto& route : partitions.buckets[i].routes) {
       initial->table.insert(route.prefix, route.next_hop);
     }
+    attach_flat(*initial, nullptr, {});
+    worker->flat_bytes.store(
+        initial->flat ? initial->flat->memory_bytes() : 0,
+        std::memory_order_relaxed);
     worker->occupancy.store(initial->table.size(),
                             std::memory_order_relaxed);
     worker->active.store(initial, std::memory_order_seq_cst);
     workers_.push_back(std::move(worker));
   }
+  stage_.resize(config.worker_count);
+  drain_scratch_.resize(kDrainBatch);
   for (std::size_t i = 0; i < config.worker_count; ++i) {
     workers_[i]->thread = std::thread([this, i] { worker_main(i); });
   }
@@ -133,22 +152,39 @@ LookupRuntime::~LookupRuntime() {
 
 void LookupRuntime::worker_main(std::size_t w) {
   Worker& me = *workers_[w];
-  std::optional<Completion> pending;
+  std::vector<Job> batch(kWorkerBatch);
+  std::vector<Completion> done;
+  done.reserve(kWorkerBatch);
+  // Completions the full ring would not take, drained before new jobs.
+  std::vector<Completion> pending;
+  std::size_t pending_at = 0;
   unsigned idle = 0;
   for (;;) {
     bool progress = drain_control(w);
     if (dred_enabled_) progress |= drain_fills(w);
-    if (pending) {
-      if (me.completions->try_push(*pending)) {
-        pending.reset();
+    if (pending_at < pending.size()) {
+      const std::size_t pushed = me.completions->try_push_n(
+          pending.data() + pending_at, pending.size() - pending_at);
+      if (pushed > 0) {
+        pending_at += pushed;
         progress = true;
+        if (pending_at == pending.size()) {
+          pending.clear();
+          pending_at = 0;
+        }
       }
-    } else {
-      Job job;
-      if (me.jobs->try_pop(job)) {
-        const Completion done = process(w, job);
-        if (!me.completions->try_push(done)) pending = done;
+    }
+    if (pending.empty()) {
+      const std::size_t n = me.jobs->try_pop_n(batch.data(), kWorkerBatch);
+      if (n > 0) {
         progress = true;
+        process_batch(w, batch.data(), n, done);
+        const std::size_t pushed = me.completions->try_push_n(done.data(), n);
+        if (pushed < n) {
+          pending.assign(done.begin() + static_cast<std::ptrdiff_t>(pushed),
+                         done.end());
+          pending_at = 0;
+        }
       }
     }
     if (progress) {
@@ -169,8 +205,40 @@ void LookupRuntime::worker_main(std::size_t w) {
   }
 }
 
+void LookupRuntime::process_batch(std::size_t w, const Job* jobs,
+                                  std::size_t n,
+                                  std::vector<Completion>& out) {
+  Worker& me = *workers_[w];
+  out.clear();
+  // Snapshot discipline: pin the epoch once for the whole batch, then
+  // load the pointer. The table stays alive until this guard's slot
+  // passes the retire epoch; batches are tens of jobs, so the pin never
+  // stretches a grace period meaningfully.
+  EpochDomain::Guard guard(epoch_, w);
+  const ChipTable* table = me.active.load(std::memory_order_seq_cst);
+  if (const auto* flat = table->flat.get()) {
+    // Request every job's level-1 line before resolving any: the flat
+    // array is tens of MB and cache-cold per batch, so the loads overlap
+    // instead of serialising one miss per job.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!jobs[i].dred_only) flat->prefetch(jobs[i].address);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(resolve_timed(w, jobs[i], *table));
+  }
+}
+
 LookupRuntime::Completion LookupRuntime::process(std::size_t w,
                                                  const Job& job) {
+  Worker& me = *workers_[w];
+  EpochDomain::Guard guard(epoch_, w);
+  const ChipTable* table = me.active.load(std::memory_order_seq_cst);
+  return resolve_timed(w, job, *table);
+}
+
+LookupRuntime::Completion LookupRuntime::resolve_timed(
+    std::size_t w, const Job& job, const ChipTable& table) {
   Worker& me = *workers_[w];
   // Service-time sampling: time one in every latency_sample_every jobs
   // so the histogram costs two clock reads per sample, not per lookup.
@@ -178,15 +246,16 @@ LookupRuntime::Completion LookupRuntime::process(std::size_t w,
   // increment + mask rather than an atomic load.
   if (sample_enabled_ && (me.jobs_seen++ & sample_mask_) == 0) {
     const auto t0 = Clock::now();
-    const Completion done = process_job(w, job);
+    const Completion done = resolve_job(w, job, table);
     me.service_hist.record(elapsed_ns(t0));
     return done;
   }
-  return process_job(w, job);
+  return resolve_job(w, job, table);
 }
 
-LookupRuntime::Completion LookupRuntime::process_job(std::size_t w,
-                                                     const Job& job) {
+LookupRuntime::Completion LookupRuntime::resolve_job(std::size_t w,
+                                                     const Job& job,
+                                                     const ChipTable& table) {
   Worker& me = *workers_[w];
   me.counters.add(WorkerCounter::kJobs);
   if (job.dred_only) {
@@ -202,19 +271,32 @@ LookupRuntime::Completion LookupRuntime::process_job(std::size_t w,
     return Completion{job.index, netbase::kNoRoute, true, job.gen};
   }
   me.counters.add(WorkerCounter::kHomeLookups);
-  std::optional<Route> matched;
-  std::uint64_t version = 0;
-  {
-    // Snapshot discipline: pin the epoch, then load the pointer. The
-    // table stays alive until this guard's slot passes the retire epoch.
-    EpochDomain::Guard guard(epoch_, w);
-    const ChipTable* table = me.active.load(std::memory_order_seq_cst);
-    matched = table->table.lookup_route(job.address);
-    version = table->version;
+  NextHop hop = netbase::kNoRoute;
+  std::optional<Route> harvest;
+  if (table.flat) {
+    // The flat image answers with the hop alone; a DRed fill needs the
+    // stored route shape, so one in every fill_sample_every hits pays
+    // one trie walk to harvest it. The trie path samples identically —
+    // flat on/off A/B then compares lookup cost, not fill policy.
+    me.counters.add(WorkerCounter::kFlatLookups);
+    hop = table.flat->lookup(job.address);
+    if (hop != netbase::kNoRoute && dred_enabled_ && fill_sample_enabled_ &&
+        (me.hits_seen++ & fill_mask_) == 0) {
+      harvest = table.table.lookup_route(job.address);
+    }
+  } else {
+    me.counters.add(WorkerCounter::kTrieLookups);
+    const auto matched = table.table.lookup_route(job.address);
+    if (matched) {
+      hop = matched->next_hop;
+      if (dred_enabled_ && fill_sample_enabled_ &&
+          (me.hits_seen++ & fill_mask_) == 0) {
+        harvest = matched;
+      }
+    }
   }
-  if (!matched) return Completion{job.index, netbase::kNoRoute, false, job.gen};
-  if (dred_enabled_) send_fills(w, *matched, version);
-  return Completion{job.index, matched->next_hop, false, job.gen};
+  if (harvest) send_fills(w, *harvest, table.version);
+  return Completion{job.index, hop, false, job.gen};
 }
 
 bool LookupRuntime::drain_control(std::size_t w) {
@@ -301,30 +383,33 @@ void LookupRuntime::send_fills(std::size_t w, const Route& matched,
 // ----------------------------------------------------------------- client
 
 bool LookupRuntime::try_submit(const engine::IndexingLogic& indexing,
-                               Ipv4Address address, std::uint32_t index) {
-  const std::size_t home = indexing.tcam_of(address);
-  if (workers_[home]->jobs->try_push(Job{address, index, false, batch_gen_})) {
-    return true;
-  }
+                               const Job& job) {
+  const std::size_t home = indexing.tcam_of(job.address);
+  if (workers_[home]->jobs->try_push(job)) return true;
+  return try_divert(home, job);
+}
+
+bool LookupRuntime::try_divert(std::size_t home, const Job& job) {
   if (!dred_enabled_) return false;  // nowhere useful to divert
-  std::vector<std::size_t> occupancy(workers_.size());
+  occupancy_scratch_.resize(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    occupancy[i] = workers_[i]->jobs->size_approx();
+    occupancy_scratch_[i] = workers_[i]->jobs->size_approx();
   }
   const auto decision =
-      engine::choose_queue(home, occupancy, config_.fifo_depth);
+      engine::choose_queue(home, occupancy_scratch_, config_.fifo_depth);
   switch (decision.action) {
     case engine::DispatchDecision::Action::kHome:
       // The home ring drained between our push and the scan; retry it.
-      return workers_[home]->jobs->try_push(
-          Job{address, index, false, batch_gen_});
-    case engine::DispatchDecision::Action::kDivert:
-      if (workers_[decision.chip]->jobs->try_push(
-              Job{address, index, true, batch_gen_})) {
+      return workers_[home]->jobs->try_push(job);
+    case engine::DispatchDecision::Action::kDivert: {
+      Job diverted = job;
+      diverted.dred_only = true;
+      if (workers_[decision.chip]->jobs->try_push(diverted)) {
         client_counters_.add(ClientCounter::kDiverted);
         return true;
       }
       return false;
+    }
     case engine::DispatchDecision::Action::kReject:
       return false;
   }
@@ -339,12 +424,14 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
   // earlier batch carry a stale gen and are dropped on drain below
   // instead of being written through a differently-sized results vector.
   const std::uint32_t gen = ++batch_gen_;
-  std::vector<Clock::time_point> submitted;
   if (latency_ns) {
     latency_ns->assign(addresses.size(), 0.0);
-    submitted.resize(addresses.size());
+    submitted_.resize(addresses.size());
   }
-  std::vector<Job> returns;  // DRed misses awaiting home-ring room
+  // Leftovers of an aborted earlier batch index a dead results vector.
+  returns_.clear();
+  backlog_.clear();
+  for (auto& staged : stage_) staged.clear();
   std::size_t next = 0;
   std::size_t outstanding = 0;
   unsigned idle = 0;
@@ -352,7 +439,7 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
   // the metrics (workers wedged, descheduled, or the runtime stopping).
   constexpr unsigned kStallSpins = 10'000;
   bool stall_recorded = false;
-  while (next < addresses.size() || outstanding > 0) {
+  while (next < addresses.size() || outstanding > 0 || !backlog_.empty()) {
     bool progress = false;
     {
       // Dispatch pass: pin the epoch so the IndexingLogic snapshot we
@@ -363,53 +450,102 @@ std::vector<NextHop> LookupRuntime::lookup_batch(
       const engine::IndexingLogic& indexing =
           *indexing_.load(std::memory_order_seq_cst);
       // Returned misses first: they are the oldest jobs in flight.
-      for (std::size_t i = 0; i < returns.size();) {
-        const std::size_t home = indexing.tcam_of(returns[i].address);
-        if (workers_[home]->jobs->try_push(returns[i])) {
-          returns[i] = returns.back();
-          returns.pop_back();
+      for (std::size_t i = 0; i < returns_.size();) {
+        const std::size_t home = indexing.tcam_of(returns_[i].address);
+        if (workers_[home]->jobs->try_push(returns_[i])) {
+          returns_[i] = returns_.back();
+          returns_.pop_back();
           progress = true;
         } else {
           ++i;
         }
       }
-      // Fresh submissions until backpressure.
-      while (next < addresses.size()) {
-        if (!try_submit(indexing, addresses[next],
-                        static_cast<std::uint32_t>(next))) {
-          client_counters_.add(ClientCounter::kBackpressureWaits);
-          break;
+      // Then jobs every ring rejected last pass (older than fresh ones).
+      for (std::size_t i = 0; i < backlog_.size();) {
+        if (try_submit(indexing, backlog_[i])) {
+          if (latency_ns) submitted_[backlog_[i].index] = Clock::now();
+          ++outstanding;
+          backlog_[i] = backlog_.back();
+          backlog_.pop_back();
+          progress = true;
+        } else {
+          ++i;
         }
-        if (latency_ns) submitted[next] = Clock::now();
-        ++next;
-        ++outstanding;
-        progress = true;
+      }
+      // Fresh submissions, staged per home chip so each ring takes one
+      // batched push per pass instead of one cursor update per address.
+      // Staging pauses while a backlog exists — everything is full
+      // anyway, and order stays tidy.
+      if (backlog_.empty() && next < addresses.size()) {
+        const std::size_t stage_end =
+            std::min(addresses.size(), next + kClientStage);
+        for (; next < stage_end; ++next) {
+          const std::size_t home = indexing.tcam_of(addresses[next]);
+          stage_[home].push_back(Job{addresses[next],
+                                     static_cast<std::uint32_t>(next), false,
+                                     gen});
+        }
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+          auto& staged = stage_[w];
+          if (staged.empty()) continue;
+          const std::size_t pushed =
+              workers_[w]->jobs->try_push_n(staged.data(), staged.size());
+          if (pushed > 0) {
+            progress = true;
+            if (latency_ns) {
+              // One stamp per sub-batch: the spread within a batched
+              // push is nanoseconds against microsecond latencies.
+              const auto stamp = Clock::now();
+              for (std::size_t i = 0; i < pushed; ++i) {
+                submitted_[staged[i].index] = stamp;
+              }
+            }
+            outstanding += pushed;
+          }
+          for (std::size_t i = pushed; i < staged.size(); ++i) {
+            if (try_divert(w, staged[i])) {
+              if (latency_ns) submitted_[staged[i].index] = Clock::now();
+              ++outstanding;
+              progress = true;
+            } else {
+              backlog_.push_back(staged[i]);
+            }
+          }
+          staged.clear();
+        }
+        if (!backlog_.empty()) {
+          client_counters_.add(ClientCounter::kBackpressureWaits);
+        }
       }
     }
     // Completion drain + reorder stage: results land at their
     // submission index regardless of which chip answered when.
-    Completion done;
     for (auto& worker : workers_) {
-      while (worker->completions->try_pop(done)) {
+      std::size_t got;
+      while ((got = worker->completions->try_pop_n(drain_scratch_.data(),
+                                                   kDrainBatch)) > 0) {
         progress = true;
-        if (done.gen != gen) continue;  // stranded by an aborted batch
-        if (done.miss_return) {
-          returns.push_back(
-              Job{addresses[done.index], done.index, false, gen});
-        } else {
-          results[done.index] = done.hop;
-          if (latency_ns) {
-            const double ns = elapsed_ns(submitted[done.index]);
-            (*latency_ns)[done.index] = ns;
-            // Same 1-in-N sampling as worker service timing: on a
-            // loaded host the client shares cycles with the workers,
-            // so per-completion recording taxes lookup throughput.
-            if (sample_enabled_ &&
-                (client_samples_seen_++ & sample_mask_) == 0) {
-              client_hist_.record(ns);
+        for (std::size_t d = 0; d < got; ++d) {
+          const Completion& done = drain_scratch_[d];
+          if (done.gen != gen) continue;  // stranded by an aborted batch
+          if (done.miss_return) {
+            returns_.push_back(
+                Job{addresses[done.index], done.index, false, gen});
+          } else {
+            results[done.index] = done.hop;
+            if (latency_ns) {
+              const double ns = elapsed_ns(submitted_[done.index]);
+              (*latency_ns)[done.index] = ns;
+              // Same 1-in-N sampling as worker service timing: on a
+              // loaded host the client shares cycles with the workers,
+              // so per-completion recording taxes lookup throughput.
+              if (sample_enabled_ &&
+                  (client_samples_seen_++ & sample_mask_) == 0) {
+                client_hist_.record(ns);
+              }
             }
+            --outstanding;
           }
-          --outstanding;
         }
       }
     }
@@ -453,8 +589,32 @@ void LookupRuntime::publish_table(std::size_t chip, ChipTable* next) {
   worker.active.store(next, std::memory_order_seq_cst);
   worker.published_version.store(next->version, std::memory_order_seq_cst);
   worker.occupancy.store(next->table.size(), std::memory_order_release);
+  worker.flat_bytes.store(next->flat ? next->flat->memory_bytes() : 0,
+                          std::memory_order_relaxed);
   epoch_.retire(old);
   tables_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LookupRuntime::attach_flat(ChipTable& next, const ChipTable* prev,
+                                  std::span<const Prefix> dirty) {
+  if (!config_.flat_lookup) return 0.0;
+  const auto t0 = Clock::now();
+  try {
+    if (prev && prev->flat) {
+      next.flat = std::make_unique<engine::FlatLookupTable>(
+          *prev->flat, next.table, dirty);
+    } else {
+      next.flat = std::make_unique<engine::FlatLookupTable>(
+          next.table, config_.flat_table);
+    }
+  } catch (const std::exception&) {
+    // A next hop the 31-bit entry encoding cannot hold (or a bad
+    // config): this version answers from the trie instead.
+    next.flat = nullptr;
+  }
+  const double ns = elapsed_ns(t0);
+  flat_rebuild_hist_.record(ns);
+  return ns;
 }
 
 void LookupRuntime::publish_indexing() {
@@ -531,6 +691,11 @@ std::size_t LookupRuntime::migrate(const MigrationStep& step) {
   // `count` routes for a rightward move, the bottom `count` leftward.
   const std::size_t first = rightward ? donor_routes.size() - count : 0;
   const std::span<const Route> migrated(donor_routes.data() + first, count);
+  // The migrated prefixes are the dirty set for both chips' flat-image
+  // rebuilds: everything else in either table is untouched.
+  std::vector<Prefix> dirty;
+  dirty.reserve(count);
+  for (const auto& route : migrated) dirty.push_back(route.prefix);
 
   // 1. Publish the receiver's table with the migrated routes added.
   //    Both chips now store them, but the indexing still homes their
@@ -539,10 +704,11 @@ std::size_t LookupRuntime::migrate(const MigrationStep& step) {
   {
     Worker& receiver = *workers_[step.receiver];
     ChipTable* old = receiver.active.load(std::memory_order_relaxed);
-    auto* next = new ChipTable{old->table, old->version + 1};
+    auto* next = new ChipTable{old->table, old->version + 1, nullptr};
     for (const auto& route : migrated) {
       next->table.insert(route.prefix, route.next_hop);
     }
+    attach_flat(*next, old, dirty);
     publish_table(step.receiver, next);
   }
 
@@ -567,8 +733,9 @@ std::size_t LookupRuntime::migrate(const MigrationStep& step) {
   //    none can sneak into the receiver's DRed after step 5's sweep.
   {
     ChipTable* old = donor.active.load(std::memory_order_relaxed);
-    auto* next = new ChipTable{old->table, old->version + 1};
+    auto* next = new ChipTable{old->table, old->version + 1, nullptr};
     for (const auto& route : migrated) next->table.erase(route.prefix);
+    attach_flat(*next, old, dirty);
     publish_table(step.donor, next);
   }
 
@@ -656,6 +823,10 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   const auto t1 = Clock::now();
   std::vector<ChipTable*> shadows(workers_.size(), nullptr);
   std::vector<ControlMsg> broadcast;
+  // Per-chip dirty regions for the flat-image rebuild: insert pieces
+  // plus each delete/modify op's covering prefix (its stored shapes all
+  // lie within it).
+  std::vector<std::vector<Prefix>> dirty(workers_.size());
 
   // Builds every affected chip's shadow at the *current* boundaries.
   // Inserts split fresh; deletes/modifies instead range-query the chip
@@ -665,6 +836,7 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   // broadcast uses the same stored shapes, because DRed fills only ever
   // carry stored shapes.
   const auto build_shadows = [&] {
+    for (auto& d : dirty) d.clear();  // admission retries rebuild these
     std::vector<std::vector<std::pair<onrtc::FibOpKind, Route>>> per_chip(
         workers_.size());
     for (const auto& op : ops) {
@@ -673,6 +845,7 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
              engine::split_at_boundaries(op.route.prefix, boundaries_)) {
           per_chip[chip].emplace_back(op.kind,
                                       Route{piece, op.route.next_hop});
+          dirty[chip].push_back(piece);
         }
       } else {
         // Every stored shape of the region lies on a chip whose current
@@ -683,6 +856,7 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
           if (chip == last_chip) continue;
           last_chip = chip;
           per_chip[chip].emplace_back(op.kind, op.route);
+          dirty[chip].push_back(op.route.prefix);
         }
       }
     }
@@ -691,7 +865,7 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
       // The control thread is the only writer, so reading the active
       // version without a guard is safe; workers only ever read it.
       ChipTable* old = workers_[chip]->active.load(std::memory_order_relaxed);
-      auto* next = new ChipTable{old->table, old->version + 1};
+      auto* next = new ChipTable{old->table, old->version + 1, nullptr};
       for (const auto& [kind, route] : per_chip[chip]) {
         switch (kind) {
           case onrtc::FibOpKind::kInsert:
@@ -769,6 +943,12 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   for (std::size_t chip = 0; chip < workers_.size(); ++chip) {
     if (!shadows[chip]) continue;
     ++trace.chips_touched;
+    // The flat rebuild is part of the publish (and so of TTF2): the new
+    // image copy-on-writes from the still-active version's image over
+    // this update's dirty prefixes, so its cost tracks the diff size.
+    const ChipTable* old =
+        workers_[chip]->active.load(std::memory_order_relaxed);
+    trace.flat_ns += attach_flat(*shadows[chip], old, dirty[chip]);
     publish_table(chip, shadows[chip]);
     shadows[chip] = nullptr;
   }
@@ -818,6 +998,9 @@ RuntimeMetrics LookupRuntime::metrics() const {
     const auto& c = worker->counters;
     m.per_worker_jobs.push_back(c.get(WorkerCounter::kJobs));
     m.home_lookups += c.get(WorkerCounter::kHomeLookups);
+    m.flat_lookups += c.get(WorkerCounter::kFlatLookups);
+    m.trie_lookups += c.get(WorkerCounter::kTrieLookups);
+    m.flat_bytes += worker->flat_bytes.load(std::memory_order_relaxed);
     m.dred_lookups += c.get(WorkerCounter::kDredLookups);
     m.dred_hits += c.get(WorkerCounter::kDredHits);
     m.miss_returns += c.get(WorkerCounter::kMissReturns);
@@ -862,6 +1045,10 @@ void LookupRuntime::export_metrics(obs::MetricsRegistry& registry) const {
   const RuntimeMetrics m = metrics();
   registry.set_counter("runtime.lookups_completed", m.lookups_completed);
   registry.set_counter("runtime.home_lookups", m.home_lookups);
+  registry.set_counter("runtime.flat_lookups", m.flat_lookups);
+  registry.set_counter("runtime.trie_lookups", m.trie_lookups);
+  registry.set_gauge("runtime.flat_bytes",
+                     static_cast<double>(m.flat_bytes));
   registry.set_counter("runtime.dred_lookups", m.dred_lookups);
   registry.set_counter("runtime.dred_hits", m.dred_hits);
   registry.set_counter("runtime.miss_returns", m.miss_returns);
@@ -903,6 +1090,8 @@ void LookupRuntime::export_metrics(obs::MetricsRegistry& registry) const {
                       static_cast<double>(chip_capacity_));
   registry.add_histogram("runtime.client.latency_ns", client_hist_.snapshot());
   registry.add_histogram("runtime.rebalance_ns", rebalance_hist_.snapshot());
+  registry.add_histogram("runtime.flat_rebuild_ns",
+                         flat_rebuild_hist_.snapshot());
   registry.add_ttf_trace("runtime.ttf", ttf_ring_.snapshot());
 }
 

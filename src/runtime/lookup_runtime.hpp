@@ -47,6 +47,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,7 @@
 #include <vector>
 
 #include "engine/dred.hpp"
+#include "engine/flat_table.hpp"
 #include "engine/indexing_logic.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
@@ -102,12 +104,27 @@ struct RuntimeConfig {
   /// disables sampling). The default costs two clock reads per 64
   /// lookups — noise.
   std::size_t latency_sample_every = 64;
+  /// Publish a FlatLookupTable image beside every chip-table version and
+  /// answer home lookups from it (the trie stays authoritative for
+  /// updates, range queries, and as the fallback when a next hop cannot
+  /// be encoded). Off = the pre-flat trie-walk hot path, kept for A/B.
+  bool flat_lookup = true;
+  /// Stride / chunk geometry of the published flat images.
+  engine::FlatTableConfig flat_table;
+  /// The flat path yields a bare next hop, not the stored route shape a
+  /// DRed fill needs, so workers harvest fills by re-walking the trie on
+  /// one in every `fill_sample_every` home hits (power of two; 0
+  /// disables fills). Applied on the trie path too, so flat on/off A/B
+  /// compares lookup cost, not fill policy.
+  std::size_t fill_sample_every = 8;
 };
 
 /// Per-worker counter names; one obs::CounterBlock per chip worker.
 enum class WorkerCounter : std::size_t {
   kJobs,
   kHomeLookups,
+  kFlatLookups,  ///< home lookups answered from the flat image
+  kTrieLookups,  ///< home lookups that walked the trie (flat off/fallback)
   kDredLookups,
   kDredHits,
   kMissReturns,
@@ -132,6 +149,9 @@ enum class ClientCounter : std::size_t {
 struct RuntimeMetrics {
   std::uint64_t lookups_completed = 0;
   std::uint64_t home_lookups = 0;
+  std::uint64_t flat_lookups = 0;  ///< home lookups served by the flat image
+  std::uint64_t trie_lookups = 0;  ///< home lookups that walked the trie
+  std::uint64_t flat_bytes = 0;    ///< heap bytes of the active flat images
   std::uint64_t dred_lookups = 0;
   std::uint64_t dred_hits = 0;
   std::uint64_t miss_returns = 0;  ///< DRed misses re-enqueued home
@@ -306,10 +326,14 @@ class LookupRuntime {
     std::uint32_t home = 0;
   };
 
-  /// One immutable published FIB version for one chip.
+  /// One immutable published FIB version for one chip. `flat` is the
+  /// direct-index image workers answer from when present; null means
+  /// this version falls back to the trie (flat path disabled, or a next
+  /// hop the flat encoding cannot hold).
   struct ChipTable {
     trie::BinaryTrie table;
     std::uint64_t version = 0;
+    std::unique_ptr<const engine::FlatLookupTable> flat;
   };
 
   struct Worker {
@@ -325,17 +349,32 @@ class LookupRuntime {
     /// publish, read by metrics/rebalance planning from any thread.
     std::atomic<std::size_t> occupancy{0};
     std::unique_ptr<engine::DredStore> dred;
+    /// memory_bytes() of the active flat image (0 when null); written by
+    /// the control role at publish, read by the metrics exporter.
+    std::atomic<std::size_t> flat_bytes{0};
     obs::CounterBlock<WorkerCounter> counters;
     obs::LatencyHistogram service_hist;
     /// Worker-private job count for the sampling decision — plain (not
     /// atomic) because only the owning thread reads or writes it.
     std::uint64_t jobs_seen = 0;
+    /// Worker-private home-hit count for fill-harvest sampling.
+    std::uint64_t hits_seen = 0;
     std::thread thread;
   };
 
   void worker_main(std::size_t w);
+  /// Pops up to kWorkerBatch jobs, pins the epoch once, prefetches the
+  /// flat-table lines across the whole batch, then resolves in order.
+  void process_batch(std::size_t w, const Job* jobs, std::size_t n,
+                     std::vector<Completion>& out);
+  /// Single-job path (fence drains): pins the epoch itself.
   Completion process(std::size_t w, const Job& job);
-  Completion process_job(std::size_t w, const Job& job);
+  /// Resolves one job against the already-pinned `table`, with 1-in-N
+  /// service-time sampling.
+  Completion resolve_timed(std::size_t w, const Job& job,
+                           const ChipTable& table);
+  Completion resolve_job(std::size_t w, const Job& job,
+                         const ChipTable& table);
   bool drain_control(std::size_t w);
   bool drain_fills(std::size_t w);
   void send_fills(std::size_t w, const Route& matched, std::uint64_t version);
@@ -343,10 +382,12 @@ class LookupRuntime {
   /// (bounded by ring capacity) against the active table.
   void drain_own_jobs(std::size_t w);
 
-  /// Client-side dispatch of one fresh address; false = all queues full.
+  /// Client-side dispatch of one job; false = all queues full.
   /// `indexing` is the epoch-pinned snapshot the caller loaded.
-  bool try_submit(const engine::IndexingLogic& indexing, Ipv4Address address,
-                  std::uint32_t index);
+  bool try_submit(const engine::IndexingLogic& indexing, const Job& job);
+  /// Home ring was full: §III-B fallback — retry home or divert to the
+  /// idlest chip as a DRed-only job. Uses occupancy_scratch_.
+  bool try_divert(std::size_t home, const Job& job);
 
   // ---- control-role internals (single control thread at a time) ----
 
@@ -370,6 +411,14 @@ class LookupRuntime {
   void rollback_update(const workload::UpdateMsg& message,
                        const std::optional<NextHop>& prior);
 
+  /// Builds the flat image for `next` (copy-on-write from `prev`'s image
+  /// over the `dirty` prefixes when available, full build otherwise),
+  /// records the build time, and returns it in nanoseconds. A table the
+  /// flat encoding cannot hold leaves next.flat null (trie fallback).
+  /// Control role only; 0 and no-op when flat_lookup is off.
+  double attach_flat(ChipTable& next, const ChipTable* prev,
+                     std::span<const Prefix> dirty);
+
   RuntimeConfig config_;
   onrtc::CompressedFib fib_;
   std::vector<Ipv4Address> boundaries_;  // control-role state
@@ -386,6 +435,18 @@ class LookupRuntime {
   /// Client-private batch generation; stamps jobs so completions from an
   /// aborted batch are discarded by the next one (plain, single writer).
   std::uint32_t batch_gen_ = 0;
+
+  // Client-role scratch, reused across lookup_batch calls so the steady
+  // state allocates nothing per batch (client is single-threaded by
+  // contract). stage_[w] collects jobs homed to worker w for one
+  // try_push_n; backlog_ holds jobs every ring rejected; returns_ holds
+  // DRed misses awaiting home-ring room; submitted_ holds latency stamps.
+  std::vector<std::vector<Job>> stage_;
+  std::vector<Job> backlog_;
+  std::vector<Job> returns_;
+  std::vector<Completion> drain_scratch_;
+  std::vector<std::size_t> occupancy_scratch_;
+  std::vector<std::chrono::steady_clock::time_point> submitted_;
 
   std::atomic<std::uint64_t> updates_started_{0};
   std::atomic<std::uint64_t> updates_completed_{0};
@@ -411,10 +472,16 @@ class LookupRuntime {
   /// Wall time of each rebalance pass (control thread is the single
   /// writer; exported as "runtime.rebalance_ns").
   obs::LatencyHistogram rebalance_hist_;
+  /// Wall time of each flat-image rebuild (control thread is the single
+  /// writer; exported as "runtime.flat_rebuild_ns").
+  obs::LatencyHistogram flat_rebuild_hist_;
 
   // Service-time sampling: jobs & sample_mask_ == 0 gets timed.
   bool sample_enabled_ = false;
   std::uint64_t sample_mask_ = 0;
+  // Fill-harvest sampling: home hits & fill_mask_ == 0 send DRed fills.
+  bool fill_sample_enabled_ = false;
+  std::uint64_t fill_mask_ = 0;
 
   std::mutex stop_mutex_;  // serialises the join in stop()
 };

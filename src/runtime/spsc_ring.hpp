@@ -54,6 +54,27 @@ class SpscRing {
     return true;
   }
 
+  /// Batched producer side: pushes up to `count` values from `values`,
+  /// returning how many were accepted (0 when full). Partial pushes take
+  /// the longest prefix that fits, so FIFO order is preserved; the
+  /// cursor is bumped once per call, not per element.
+  std::size_t try_push_n(T* values, std::size_t count) {
+    if (count == 0) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity_ - (tail - cached_head_);
+    if (free < count) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (tail - cached_head_);
+      if (free == 0) return 0;
+    }
+    const std::size_t n = count < free ? count : free;
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(values[i]);
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side. False when the ring is empty.
   bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -64,6 +85,26 @@ class SpscRing {
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Batched consumer side: pops up to `max_count` values into `out`,
+  /// returning how many were taken (0 when empty). One acquire load and
+  /// one cursor bump cover the whole batch.
+  std::size_t try_pop_n(T* out, std::size_t max_count) {
+    if (max_count == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = max_count < avail ? max_count : avail;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   /// Occupancy estimate, callable from any thread. Exact only when both

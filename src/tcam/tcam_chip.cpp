@@ -6,7 +6,19 @@
 
 namespace clue::tcam {
 
-TcamChip::TcamChip(std::size_t capacity) : slots_(capacity) {
+namespace {
+
+constexpr std::size_t kSearchCacheSlots = 1024;  // power of two
+
+std::size_t search_cache_index(Ipv4Address address) {
+  return static_cast<std::size_t>((address.value() * 2654435761u) >> 16) &
+         (kSearchCacheSlots - 1);
+}
+
+}  // namespace
+
+TcamChip::TcamChip(std::size_t capacity)
+    : slots_(capacity), search_cache_(kSearchCacheSlots) {
   if (capacity == 0) {
     throw std::invalid_argument("TcamChip: capacity must be > 0");
   }
@@ -37,6 +49,7 @@ void TcamChip::write(std::size_t slot, const TcamEntry& entry) {
   cell = entry;
   slot_index_[entry.prefix] = slot;
   match_index_.insert(entry.prefix, entry.next_hop);
+  ++version_;
   ++stats_.writes;
 }
 
@@ -48,6 +61,7 @@ void TcamChip::invalidate(std::size_t slot) {
   match_index_.erase(cell->prefix);
   cell.reset();
   --occupied_;
+  ++version_;
 }
 
 void TcamChip::move(std::size_t from, std::size_t to) {
@@ -59,12 +73,17 @@ void TcamChip::move(std::size_t from, std::size_t to) {
   dst = *src;
   src.reset();
   slot_index_[dst->prefix] = to;
+  ++version_;
   ++stats_.moves;
 }
 
 TcamChip::SearchResult TcamChip::search(Ipv4Address address) {
   ++stats_.searches;
   stats_.activated_entries += occupied_;
+  SearchSlot& cached = search_cache_[search_cache_index(address)];
+  if (cached.version == version_ && cached.address == address) {
+    return cached.result;
+  }
   SearchResult result;
   result.slot = std::numeric_limits<std::size_t>::max();
   match_index_.for_each_match(address, [&](const Route& route) {
@@ -77,6 +96,7 @@ TcamChip::SearchResult TcamChip::search(Ipv4Address address) {
     }
   });
   if (!result.hit) result.slot = 0;
+  cached = SearchSlot{address, result, version_};
   return result;
 }
 

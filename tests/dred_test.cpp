@@ -189,6 +189,115 @@ TEST(DredStore, FixOfUncachedPrefixIsRejected) {
   EXPECT_TRUE(dred.invariants_ok());
 }
 
+TEST(DredStore, RepeatedLookupsCountLikeTrieLookups) {
+  // The address fast path must be invisible in the stats: N identical
+  // probes are N lookups and N hits whether they came from the trie or
+  // the cache.
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dred.lookup(a("10.1.2.3")), make_next_hop(1));
+  }
+  EXPECT_EQ(dred.stats().lookups, 10u);
+  EXPECT_EQ(dred.stats().hits, 10u);
+
+  // Remembered misses count as lookups but never as hits.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(dred.lookup(a("99.0.0.1")).has_value());
+  }
+  EXPECT_EQ(dred.stats().lookups, 20u);
+  EXPECT_EQ(dred.stats().hits, 10u);
+}
+
+TEST(DredStore, CachedHitsStillPromoteInLruOrder) {
+  DredStore dred(2);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  dred.insert(Route{p("11.0.0.0/8"), make_next_hop(2)});
+  // Two probes of the same address: the second is answered from the
+  // address cache but must promote 10/8 exactly like the first did.
+  dred.lookup(a("10.0.0.1"));
+  dred.lookup(a("11.0.0.1"));
+  dred.lookup(a("10.0.0.1"));  // cached — 10/8 back to MRU
+  dred.insert(Route{p("12.0.0.0/8"), make_next_hop(3)});
+  EXPECT_TRUE(dred.contains(p("10.0.0.0/8")))
+      << "cached hit failed to refresh LRU position";
+  EXPECT_FALSE(dred.contains(p("11.0.0.0/8")));
+}
+
+TEST(DredStore, MutationsInvalidateCachedAnswers) {
+  DredStore dred(4);
+  dred.insert(Route{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_EQ(dred.lookup(a("10.1.2.3")), make_next_hop(1));
+
+  // A longer covering prefix must override the cached /8 answer.
+  dred.insert(Route{p("10.1.0.0/16"), make_next_hop(2)});
+  EXPECT_EQ(dred.lookup(a("10.1.2.3")), make_next_hop(2));
+
+  // fix() rewrites the hop behind the cached answer.
+  EXPECT_TRUE(dred.fix(Route{p("10.1.0.0/16"), make_next_hop(7)}));
+  EXPECT_EQ(dred.lookup(a("10.1.2.3")), make_next_hop(7));
+
+  // erase() must flip a remembered hit back to the shorter match...
+  EXPECT_TRUE(dred.erase(p("10.1.0.0/16")));
+  EXPECT_EQ(dred.lookup(a("10.1.2.3")), make_next_hop(1));
+  // ...and a remembered miss must turn into a hit after insert.
+  EXPECT_FALSE(dred.lookup(a("99.0.0.1")).has_value());
+  dred.insert(Route{p("99.0.0.0/8"), make_next_hop(5)});
+  EXPECT_EQ(dred.lookup(a("99.0.0.1")), make_next_hop(5));
+}
+
+TEST(DredStore, RandomizedLookupsMatchTrieOracle) {
+  // Drive the store through random mutations and probes, checking every
+  // answer (cached or not) against a plain trie carrying the same
+  // routes. A small address pool forces heavy cache reuse.
+  Pcg32 rng(101);
+  DredStore dred(32);
+  trie::BinaryTrie oracle;
+  std::vector<Prefix> pool;
+  for (int round = 0; round < 5000; ++round) {
+    const auto dice = rng.next_below(100);
+    if (dice < 20 || pool.empty()) {
+      const Prefix prefix(Ipv4Address(0x0A000000u | (rng.next() & 0x3FFF00)),
+                          24);
+      const Route route{prefix, make_next_hop(1 + rng.next_below(8))};
+      dred.insert(route);
+      oracle.insert(route.prefix, route.next_hop);
+      pool.push_back(prefix);
+      // Mirror evictions: the oracle only keeps what the store kept.
+      while (oracle.size() > dred.size()) {
+        bool erased = false;
+        for (auto it = pool.begin(); it != pool.end(); ++it) {
+          if (!dred.contains(*it) && oracle.lookup_route(it->range_low())) {
+            oracle.erase(*it);
+            pool.erase(it);
+            erased = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(erased);
+      }
+    } else if (dice < 25) {
+      const auto& victim = pool[rng.next_below(pool.size())];
+      const bool erased = dred.erase(victim);
+      if (erased) oracle.erase(victim);
+    } else if (dice < 30) {
+      const auto& target = pool[rng.next_below(pool.size())];
+      const Route route{target, make_next_hop(1 + rng.next_below(8))};
+      if (dred.fix(route)) oracle.insert(route.prefix, route.next_hop);
+    } else {
+      const auto& base = pool[rng.next_below(pool.size())];
+      const Ipv4Address addr(base.range_low().value() + rng.next_below(512));
+      const auto got = dred.lookup(addr);
+      const auto want = oracle.lookup_route(addr);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "round " << round;
+      if (want) {
+        ASSERT_EQ(*got, want->next_hop) << "round " << round;
+      }
+    }
+    ASSERT_TRUE(dred.invariants_ok());
+  }
+}
+
 TEST(DredStore, EvictionKeepsMatchIndexConsistent) {
   Pcg32 rng(41);
   DredStore dred(8);

@@ -1,0 +1,286 @@
+// FlatLookupTable differential fuzz: the flat direct-index image must
+// agree with the authoritative BinaryTrie and with TcamChip's honest
+// O(capacity) search_linear scan over randomized non-overlapping
+// tables — including copy-on-write rebuilds after inserts, deletes,
+// modifies, and simulated boundary migrations.
+#include "engine/flat_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "netbase/rng.hpp"
+#include "tcam/tcam_chip.hpp"
+#include "trie/binary_trie.hpp"
+
+namespace {
+
+using clue::engine::FlatLookupTable;
+using clue::engine::FlatTableConfig;
+using clue::netbase::Ipv4Address;
+using clue::netbase::make_next_hop;
+using clue::netbase::NextHop;
+using clue::netbase::Pcg32;
+using clue::netbase::Prefix;
+using clue::trie::BinaryTrie;
+
+// A candidate prefix overlaps the stored set iff something at or above
+// it covers its base, or something strictly below it lies within it.
+bool overlaps_any(const BinaryTrie& table, const Prefix& prefix) {
+  const auto cover = table.lookup_route(prefix.range_low());
+  if (cover && cover->prefix.length() <= prefix.length()) return true;
+  return !table.routes_within(prefix).empty();
+}
+
+Prefix random_prefix(Pcg32& rng, unsigned min_len, unsigned max_len) {
+  const unsigned len = min_len + rng.next() % (max_len - min_len + 1);
+  return Prefix(Ipv4Address(rng.next()), len);
+}
+
+// Builds a random non-overlapping table with lengths spanning both
+// sides of the stride so level-2 blocks get real coverage.
+BinaryTrie make_disjoint_table(std::size_t target, std::uint64_t seed) {
+  BinaryTrie table;
+  Pcg32 rng(seed);
+  while (table.size() < target) {
+    const Prefix candidate = random_prefix(rng, 8, 30);
+    if (overlaps_any(table, candidate)) continue;
+    table.insert(candidate, make_next_hop(1 + rng.next() % 255));
+  }
+  EXPECT_TRUE(table.is_disjoint());
+  return table;
+}
+
+// Probe set: every route's range edges (where paint bugs live) plus
+// their neighbours one address outside, plus uniform-random addresses.
+std::vector<Ipv4Address> probe_addresses(const BinaryTrie& table,
+                                         std::size_t random_count,
+                                         std::uint64_t seed) {
+  std::vector<Ipv4Address> probes;
+  for (const auto& route : table.routes()) {
+    const std::uint32_t lo = route.prefix.range_low().value();
+    const std::uint32_t hi = route.prefix.range_high().value();
+    probes.emplace_back(lo);
+    probes.emplace_back(hi);
+    if (lo != 0) probes.emplace_back(lo - 1);
+    if (hi != 0xFFFF'FFFFu) probes.emplace_back(hi + 1);
+  }
+  Pcg32 rng(seed);
+  for (std::size_t i = 0; i < random_count; ++i) probes.emplace_back(rng.next());
+  return probes;
+}
+
+void expect_matches_trie(const FlatLookupTable& flat, const BinaryTrie& table,
+                         const std::vector<Ipv4Address>& probes) {
+  for (const auto address : probes) {
+    ASSERT_EQ(flat.lookup(address), table.lookup(address))
+        << "address " << address.to_string();
+  }
+}
+
+TEST(FlatTableTest, MatchesTrieAndLinearTcamScan) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const auto table = make_disjoint_table(2'000, seed);
+    const FlatLookupTable flat(table);
+
+    clue::tcam::TcamChip chip(4'096);
+    std::size_t slot = 0;
+    for (const auto& route : table.routes()) {
+      chip.write(slot++, {route.prefix, route.next_hop});
+    }
+
+    const auto probes = probe_addresses(table, 4'000, seed * 7);
+    for (const auto address : probes) {
+      const NextHop expected = table.lookup(address);
+      ASSERT_EQ(flat.lookup(address), expected)
+          << "flat vs trie at " << address.to_string();
+      const auto linear = chip.search_linear(address);
+      const NextHop tcam_hop =
+          linear.hit ? linear.next_hop : clue::netbase::kNoRoute;
+      ASSERT_EQ(tcam_hop, expected)
+          << "tcam linear vs trie at " << address.to_string();
+    }
+  }
+}
+
+TEST(FlatTableTest, NonDefaultStridesMatchTrie) {
+  const auto table = make_disjoint_table(1'000, 44);
+  for (const FlatTableConfig config :
+       {FlatTableConfig{16, 8}, FlatTableConfig{20, 10},
+        FlatTableConfig{28, 12}}) {
+    const FlatLookupTable flat(table, config);
+    expect_matches_trie(flat, table, probe_addresses(table, 2'000, 55));
+  }
+}
+
+TEST(FlatTableTest, CowRebuildTracksInsertsDeletesAndModifies) {
+  Pcg32 rng(0xF1A7);
+  auto table = make_disjoint_table(1'500, 66);
+  auto flat = std::make_unique<FlatLookupTable>(table);
+
+  for (int round = 0; round < 40; ++round) {
+    std::vector<Prefix> dirty;
+    const auto routes = table.routes();
+    for (int op = 0; op < 25; ++op) {
+      const unsigned kind = rng.next() % 3;
+      if (kind == 0) {  // insert somewhere free
+        const Prefix candidate = random_prefix(rng, 8, 30);
+        if (overlaps_any(table, candidate)) continue;
+        table.insert(candidate, make_next_hop(1 + rng.next() % 255));
+        dirty.push_back(candidate);
+      } else if (!routes.empty()) {
+        const auto& victim = routes[rng.next() % routes.size()];
+        if (!table.find(victim.prefix)) continue;  // already erased
+        if (kind == 1) {  // delete
+          table.erase(victim.prefix);
+        } else {  // modify in place
+          table.insert(victim.prefix, make_next_hop(1 + rng.next() % 255));
+        }
+        dirty.push_back(victim.prefix);
+      }
+    }
+    auto next = std::make_unique<FlatLookupTable>(*flat, table, dirty);
+    flat = std::move(next);
+
+    // The incremental snapshot must agree with the trie and with a
+    // from-scratch build at the edges of every dirty region and beyond.
+    std::vector<Ipv4Address> probes;
+    for (const auto& prefix : dirty) {
+      const std::uint32_t lo = prefix.range_low().value();
+      const std::uint32_t hi = prefix.range_high().value();
+      probes.emplace_back(lo);
+      probes.emplace_back(hi);
+      if (lo != 0) probes.emplace_back(lo - 1);
+      if (hi != 0xFFFF'FFFFu) probes.emplace_back(hi + 1);
+    }
+    for (int i = 0; i < 512; ++i) probes.emplace_back(rng.next());
+    expect_matches_trie(*flat, table, probes);
+  }
+  // After 40 rounds of drift, a final full sweep against a fresh build.
+  const FlatLookupTable fresh(table);
+  const auto probes = probe_addresses(table, 8'000, 77);
+  expect_matches_trie(*flat, table, probes);
+  for (const auto address : probes) {
+    ASSERT_EQ(flat->lookup(address), fresh.lookup(address));
+  }
+}
+
+TEST(FlatTableTest, MigrationRebuildMovesRangesBetweenSnapshots) {
+  const auto whole = make_disjoint_table(2'000, 88);
+  const auto routes = whole.routes();  // sorted by prefix ordering
+
+  // Split at a boundary like the partitioner does, then migrate a band
+  // of routes from the donor's bottom to the receiver's top.
+  BinaryTrie donor;
+  BinaryTrie receiver;
+  const std::size_t split = routes.size() / 2;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    (i < split ? receiver : donor).insert(routes[i].prefix,
+                                          routes[i].next_hop);
+  }
+  auto donor_flat = std::make_unique<FlatLookupTable>(donor);
+  auto receiver_flat = std::make_unique<FlatLookupTable>(receiver);
+
+  std::vector<Prefix> migrated;
+  for (std::size_t i = split; i < split + 200 && i < routes.size(); ++i) {
+    donor.erase(routes[i].prefix);
+    receiver.insert(routes[i].prefix, routes[i].next_hop);
+    migrated.push_back(routes[i].prefix);
+  }
+  // Receiver publishes fat first, donor shrinks after — both rebuilds
+  // take the migrated prefixes as their dirty set.
+  receiver_flat =
+      std::make_unique<FlatLookupTable>(*receiver_flat, receiver, migrated);
+  donor_flat = std::make_unique<FlatLookupTable>(*donor_flat, donor, migrated);
+
+  expect_matches_trie(*receiver_flat, receiver,
+                      probe_addresses(receiver, 4'000, 99));
+  expect_matches_trie(*donor_flat, donor, probe_addresses(donor, 4'000, 111));
+}
+
+TEST(FlatTableTest, RejectsOverlapsBadHopsAndBadConfigs) {
+  BinaryTrie overlapping;
+  overlapping.insert(Prefix(Ipv4Address(0x0A000000u), 8), make_next_hop(1));
+  overlapping.insert(Prefix(Ipv4Address(0x0A010000u), 16), make_next_hop(2));
+  EXPECT_THROW(FlatLookupTable{overlapping}, std::invalid_argument);
+
+  BinaryTrie bad_hop;
+  bad_hop.insert(Prefix(Ipv4Address(0x0A000000u), 8),
+                 NextHop{0x8000'0001u});
+  EXPECT_FALSE(FlatLookupTable::hop_encodable(NextHop{0x8000'0001u}));
+  EXPECT_THROW(FlatLookupTable{bad_hop}, std::invalid_argument);
+
+  BinaryTrie ok;
+  EXPECT_THROW(FlatLookupTable(ok, FlatTableConfig{4, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(FlatLookupTable(ok, FlatTableConfig{30, 12}),
+               std::invalid_argument);
+  EXPECT_THROW(FlatLookupTable(ok, FlatTableConfig{24, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(FlatLookupTable(ok, FlatTableConfig{16, 20}),
+               std::invalid_argument);
+}
+
+TEST(FlatTableTest, EmptyTableAnswersNoRouteWithNoMemory) {
+  BinaryTrie empty;
+  const FlatLookupTable flat(empty);
+  Pcg32 rng(123);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(flat.lookup(Ipv4Address(rng.next())), clue::netbase::kNoRoute);
+  }
+  EXPECT_EQ(flat.chunk_count(), 0u);
+  EXPECT_EQ(flat.l2_block_count(), 0u);
+}
+
+TEST(FlatTableTest, DeletingLongRoutesReleasesLevel2AndChunks) {
+  BinaryTrie table;
+  // Three /26s inside one /24 slot -> one level-2 block; one /16 -> a
+  // band of direct entries.
+  const Prefix a(Ipv4Address(0xC0A80100u), 26);
+  const Prefix b(Ipv4Address(0xC0A80140u), 26);
+  const Prefix c(Ipv4Address(0xC0A801C0u), 26);
+  const Prefix wide(Ipv4Address(0x0B000000u), 16);
+  table.insert(a, make_next_hop(1));
+  table.insert(b, make_next_hop(2));
+  table.insert(c, make_next_hop(3));
+  table.insert(wide, make_next_hop(4));
+
+  auto flat = std::make_unique<FlatLookupTable>(table);
+  EXPECT_EQ(flat->l2_block_count(), 1u);
+  EXPECT_GT(flat->chunk_count(), 0u);
+
+  table.erase(a);
+  table.erase(b);
+  table.erase(c);
+  table.erase(wide);
+  const std::vector<Prefix> dirty{a, b, c, wide};
+  flat = std::make_unique<FlatLookupTable>(*flat, table, dirty);
+  // Uniform collapse frees the level-2 block; whole-chunk clears drop
+  // the chunks back to the null representation.
+  EXPECT_EQ(flat->l2_block_count(), 0u);
+  EXPECT_EQ(flat->chunk_count(), 0u);
+  expect_matches_trie(*flat, table, probe_addresses(table, 2'000, 321));
+}
+
+TEST(FlatTableTest, SharesUntouchedChunksWithPreviousSnapshot) {
+  auto table = make_disjoint_table(2'000, 444);
+  const FlatLookupTable base(table);
+
+  // One surgical modify: the rebuild may copy only chunks under it.
+  const auto routes = table.routes();
+  const Prefix touched = routes[routes.size() / 2].prefix;
+  table.insert(touched, make_next_hop(200));
+  const FlatLookupTable next(base, table, std::vector<Prefix>{touched});
+
+  const std::size_t before = base.memory_bytes();
+  const std::size_t after = next.memory_bytes();
+  // Shared chunks are counted in both snapshots; the delta between the
+  // two must be far below one full rebuild's worth of chunks.
+  EXPECT_LT(after, before + (before / 4) + 64 * 1024);
+  expect_matches_trie(next, table, probe_addresses(table, 2'000, 555));
+}
+
+}  // namespace

@@ -82,6 +82,32 @@ TEST(ReorderBuffer, RandomPermutationReleasesInOrder) {
   EXPECT_LE(buffer.stats().max_occupancy, 33u);
 }
 
+TEST(ReorderBuffer, DrainIntoReusesCapacityAndMatchesDrain) {
+  ReorderBuffer buffer;
+  std::vector<ReorderBuffer::Released> scratch;
+  buffer.accept(2, make_next_hop(3), 0);
+  buffer.accept(0, make_next_hop(1), 1);
+  buffer.accept(1, make_next_hop(2), 2);
+
+  EXPECT_EQ(buffer.drain_into(5, scratch), 3u);
+  ASSERT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(scratch[0].sequence, 0u);
+  EXPECT_EQ(scratch[1].sequence, 1u);
+  EXPECT_EQ(scratch[2].sequence, 2u);
+  EXPECT_EQ(scratch[1].next_hop, make_next_hop(2));
+  EXPECT_EQ(scratch[2].released_clock, 5u);
+  const std::size_t capacity = scratch.capacity();
+
+  // An empty drain clears the scratch without shrinking it.
+  EXPECT_EQ(buffer.drain_into(6, scratch), 0u);
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_EQ(scratch.capacity(), capacity);
+
+  // Stats flow through drain_into exactly as through drain().
+  EXPECT_EQ(buffer.stats().released, 3u);
+  EXPECT_EQ(buffer.stats().total_hold_clocks, (5u - 0) + (5u - 1) + (5u - 2));
+}
+
 TEST(ReorderBuffer, StatsAccumulate) {
   ReorderBuffer buffer;
   buffer.accept(1, make_next_hop(1), 0);

@@ -106,4 +106,121 @@ TEST(SpscRingTest, TwoThreadTortureSeededWorkload) {
   EXPECT_FALSE(ring.try_pop(leftover));
 }
 
+TEST(SpscRingTest, BatchedPushPopMatchesScalarSemantics) {
+  SpscRing<int> ring(8);
+  int values[] = {0, 1, 2, 3, 4};
+  EXPECT_EQ(ring.try_push_n(values, 5), 5u);
+  EXPECT_EQ(ring.size_approx(), 5u);
+  int out[8] = {};
+  EXPECT_EQ(ring.try_pop_n(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.try_pop_n(out, 8), 0u);
+  EXPECT_EQ(ring.try_push_n(values, 0), 0u);
+  EXPECT_EQ(ring.try_pop_n(out, 0), 0u);
+}
+
+TEST(SpscRingTest, BatchedPushTakesLongestFittingPrefix) {
+  SpscRing<int> ring(4);
+  int a[] = {10, 11, 12};
+  ASSERT_EQ(ring.try_push_n(a, 3), 3u);
+  int b[] = {13, 14, 15};
+  // Only one slot free: the partial push must accept b[0] alone.
+  EXPECT_EQ(ring.try_push_n(b, 3), 1u);
+  EXPECT_EQ(ring.try_push_n(b + 1, 2), 0u);
+  int out[4] = {};
+  ASSERT_EQ(ring.try_pop_n(out, 4), 4u);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 11);
+  EXPECT_EQ(out[2], 12);
+  EXPECT_EQ(out[3], 13);
+}
+
+TEST(SpscRingTest, BatchedOpsWrapAroundTheBuffer) {
+  SpscRing<std::uint32_t> ring(8);
+  std::uint32_t next = 0;
+  std::uint32_t expect = 0;
+  // Push 5 / pop 3 each round: cursors drift and cross the 8-slot
+  // boundary at varying offsets, so batches straddle the wrap point.
+  for (int round = 0; round < 200; ++round) {
+    std::uint32_t in[5];
+    for (auto& v : in) v = next++;
+    std::size_t pushed = ring.try_push_n(in, 5);
+    next -= static_cast<std::uint32_t>(5 - pushed);  // rewind rejects
+    std::uint32_t out[3];
+    const std::size_t popped = ring.try_pop_n(out, 3);
+    for (std::size_t i = 0; i < popped; ++i) ASSERT_EQ(out[i], expect++);
+  }
+  std::uint32_t out[8];
+  const std::size_t tail = ring.try_pop_n(out, 8);
+  for (std::size_t i = 0; i < tail; ++i) ASSERT_EQ(out[i], expect++);
+  EXPECT_EQ(expect, next);
+  EXPECT_GT(next, 500u);
+}
+
+TEST(SpscRingTest, MixedScalarAndBatchedCallsInterleaveCleanly) {
+  SpscRing<int> ring(8);
+  int batch[] = {1, 2, 3};
+  ASSERT_TRUE(ring.try_push(0));
+  ASSERT_EQ(ring.try_push_n(batch, 3), 3u);
+  ASSERT_TRUE(ring.try_push(4));
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  int rest[8] = {};
+  ASSERT_EQ(ring.try_pop_n(rest, 8), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rest[i], i + 1);
+}
+
+TEST(SpscRingTest, TwoThreadBatchedHammerSeededWorkload) {
+  constexpr std::uint64_t kSeed = 0xBA7C4ULL;
+  constexpr std::size_t kCount = 200'000;
+  SpscRing<std::uint32_t> ring(64);
+
+  std::thread producer([&ring] {
+    Pcg32 values(kSeed);
+    Pcg32 sizes(kSeed + 1);
+    std::uint32_t staged[17];
+    std::size_t staged_n = 0;
+    std::size_t sent = 0;
+    while (sent < kCount) {
+      if (staged_n == 0) {
+        staged_n = 1 + sizes.next() % 16;
+        if (staged_n > kCount - sent) staged_n = kCount - sent;
+        for (std::size_t i = 0; i < staged_n; ++i) staged[i] = values.next();
+      }
+      const std::size_t pushed = ring.try_push_n(staged, staged_n);
+      if (pushed == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      sent += pushed;
+      // Keep the unsent suffix staged so partial pushes stay ordered.
+      for (std::size_t i = pushed; i < staged_n; ++i) {
+        staged[i - pushed] = staged[i];
+      }
+      staged_n -= pushed;
+    }
+  });
+
+  Pcg32 expected(kSeed);
+  Pcg32 sizes(kSeed + 2);
+  std::size_t received = 0;
+  while (received < kCount) {
+    std::uint32_t out[16];
+    const std::size_t want = 1 + sizes.next() % 16;
+    const std::size_t got = ring.try_pop_n(out, want);
+    if (got == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], expected.next()) << "at element " << received + i;
+    }
+    received += got;
+  }
+  producer.join();
+  std::uint32_t leftover = 0;
+  EXPECT_FALSE(ring.try_pop(leftover));
+}
+
 }  // namespace

@@ -171,5 +171,91 @@ TEST(TcamChip, IndexedSearchMatchesLinearScan) {
   }
 }
 
+TEST(TcamChip, RepeatedSearchesCountLikeFreshOnes) {
+  // The memoised search path must be invisible in the stats: N searches
+  // of the same address cost N search counts and N×occupied activated
+  // entries, exactly as if each walked the match index.
+  TcamChip chip(8);
+  chip.write(0, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  chip.write(1, TcamEntry{p("10.1.0.0/16"), make_next_hop(2)});
+  for (int i = 0; i < 10; ++i) {
+    const auto result = chip.search(a("10.1.2.3"));
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.slot, 0u);  // priority encoder: lowest slot wins
+    EXPECT_EQ(result.next_hop, make_next_hop(1));
+    EXPECT_EQ(result.match_count, 2u);
+  }
+  EXPECT_EQ(chip.stats().searches, 10u);
+  EXPECT_EQ(chip.stats().activated_entries, 20u);  // 10 searches × 2 valid
+}
+
+TEST(TcamChip, MutationsInvalidateMemoisedSearches) {
+  TcamChip chip(8);
+  chip.write(3, TcamEntry{p("10.0.0.0/8"), make_next_hop(1)});
+  EXPECT_EQ(chip.search(a("10.1.2.3")).next_hop, make_next_hop(1));
+
+  // write: a higher-priority overlapping entry changes the winner.
+  chip.write(1, TcamEntry{p("10.1.0.0/16"), make_next_hop(2)});
+  auto result = chip.search(a("10.1.2.3"));
+  EXPECT_EQ(result.slot, 1u);
+  EXPECT_EQ(result.next_hop, make_next_hop(2));
+
+  // move: same entries, different priority order.
+  chip.move(1, 5);
+  result = chip.search(a("10.1.2.3"));
+  EXPECT_EQ(result.slot, 3u);
+  EXPECT_EQ(result.next_hop, make_next_hop(1));
+
+  // invalidate: a remembered hit must become a miss.
+  chip.invalidate(3);
+  chip.invalidate(5);
+  EXPECT_FALSE(chip.search(a("10.1.2.3")).hit);
+}
+
+TEST(TcamChip, RepeatedProbesMatchLinearScanUnderChurn) {
+  // Replays a small address pool (heavy cache reuse) against random
+  // writes/invalidates/moves; every memoised answer must equal the
+  // honest O(capacity) scan.
+  Pcg32 rng(97);
+  TcamChip chip(64);
+  std::vector<Ipv4Address> pool;
+  for (int i = 0; i < 16; ++i) {
+    pool.emplace_back(0x0A000000u | (rng.next() & 0x00FFFF00u));
+  }
+  for (int step = 0; step < 4000; ++step) {
+    const auto dice = rng.next_below(100);
+    if (dice < 10 && !chip.full()) {
+      const Prefix prefix(pool[rng.next_below(16)], 8 + rng.next_below(18));
+      if (!chip.slot_of(prefix)) {
+        std::size_t slot = rng.next_below(64);
+        while (chip.read(slot)) slot = (slot + 1) % 64;
+        chip.write(slot,
+                   TcamEntry{prefix, make_next_hop(1 + rng.next_below(8))});
+      }
+    } else if (dice < 15 && chip.occupied() > 0) {
+      std::size_t slot = rng.next_below(64);
+      while (!chip.read(slot)) slot = (slot + 1) % 64;
+      chip.invalidate(slot);
+    } else if (dice < 20 && chip.occupied() > 0 && !chip.full()) {
+      std::size_t from = rng.next_below(64);
+      while (!chip.read(from)) from = (from + 1) % 64;
+      std::size_t to = rng.next_below(64);
+      while (chip.read(to)) to = (to + 1) % 64;
+      chip.move(from, to);
+    } else {
+      const Ipv4Address address(pool[rng.next_below(16)].value() +
+                                rng.next_below(4));
+      const auto fast = chip.search(address);
+      const auto slow = chip.search_linear(address);
+      ASSERT_EQ(fast.hit, slow.hit) << "step " << step;
+      ASSERT_EQ(fast.match_count, slow.match_count) << "step " << step;
+      if (fast.hit) {
+        ASSERT_EQ(fast.slot, slow.slot) << "step " << step;
+        ASSERT_EQ(fast.next_hop, slow.next_hop) << "step " << step;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace clue::tcam
