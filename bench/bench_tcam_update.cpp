@@ -8,6 +8,7 @@
 // scale on a smaller table.
 #include <iostream>
 
+#include "metrics_out.hpp"
 #include "onrtc/compressed_fib.hpp"
 #include "system/clpl_system.hpp"
 #include "system/clue_system.hpp"
@@ -53,6 +54,17 @@ int main() {
   std::cout << "=== §IV-B: TCAM update cost (24 ns per entry operation) "
                "===\n\n";
 
+  clue::obs::MetricsRegistry registry;
+  const auto record = [&registry](const char* layout,
+                                  const clue::stats::Summary& ops) {
+    const std::string prefix = std::string("tcam_update.") + layout;
+    registry.set_gauge(prefix + ".mean_ops", ops.mean());
+    registry.set_gauge(prefix + ".mean_us",
+                       ops.mean() * clue::update::CostModel::kTcamOpNs /
+                           1000.0);
+    registry.set_gauge(prefix + ".max_ops", ops.max());
+  };
+
   // Naive layout: small table (it is O(n) per update).
   {
     clue::workload::RibConfig rib_config;
@@ -68,6 +80,7 @@ int main() {
     clue::workload::UpdateGenerator updates(fib, update_config);
     const auto ops = replay(naive, updates.generate(2'000));
     report("naive      ", ops, fib.size());
+    record("naive", ops);
   }
 
   // Shah-Gupta (CLPL) and CLUE on the same larger table and stream.
@@ -87,6 +100,7 @@ int main() {
     });
     const auto ops = replay(shah, messages);
     report("shah-gupta ", ops, fib.size());
+    record("shah_gupta", ops);
     std::cout << "             (paper: 14.994 shifts avg, 0.3598 us)\n";
   }
   {
@@ -119,6 +133,7 @@ int main() {
       ops.add(total);
     }
     report("clue       ", ops, compressed.size());
+    record("clue", ops);
     std::cout << "             (paper: <=1 shift per diff op, 0.024 us; our\n"
                  "              mean counts every diff op of the update)\n";
   }
@@ -159,6 +174,14 @@ int main() {
               << "  clue-system: critical-path TTF2 "
               << clue::stats::fixed(clue_ttf2.mean() / 1000.0, 4)
               << " us (diff ops land on one chip each, <=1 shift)\n";
+    registry.set_gauge("tcam_update.system.clpl_ttf2_mean_us",
+                       clpl_ttf2.mean() / 1000.0);
+    registry.set_gauge("tcam_update.system.clue_ttf2_mean_us",
+                       clue_ttf2.mean() / 1000.0);
+    registry.set_gauge("tcam_update.system.clpl_chips_touched_mean",
+                       clpl_chips.mean());
   }
+  clue::bench::export_run("tcam_update", registry);
+  clue::bench::export_bench_section("BENCH_update", "tcam_update", registry);
   return 0;
 }

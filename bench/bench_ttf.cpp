@@ -162,7 +162,23 @@ int main() {
                        clpl_series.data_plane.overall().mean());
     registry.set_gauge("ttf.data_plane_ratio", dp_ratio);
     registry.set_gauge("ttf.total_ratio", total_ratio);
+    // Per-stage means, so the combined update-path report
+    // (BENCH_update.json) carries the TTF1/2/3 split without parsing the
+    // figure table.
+    registry.set_gauge("ttf.clue.ttf1_mean_us",
+                       clue_series.ttf1.overall().mean());
+    registry.set_gauge("ttf.clue.ttf2_mean_us",
+                       clue_series.ttf2.overall().mean());
+    registry.set_gauge("ttf.clue.ttf3_mean_us",
+                       clue_series.ttf3.overall().mean());
+    registry.set_gauge("ttf.clpl.ttf1_mean_us",
+                       clpl_series.ttf1.overall().mean());
+    registry.set_gauge("ttf.clpl.ttf2_mean_us",
+                       clpl_series.ttf2.overall().mean());
+    registry.set_gauge("ttf.clpl.ttf3_mean_us",
+                       clpl_series.ttf3.overall().mean());
     clue::bench::export_run("ttf", registry);
+    clue::bench::export_bench_section("BENCH_update", "ttf", registry);
   }
 
   std::cout << "\nData-plane percentiles (us):\n"

@@ -12,9 +12,12 @@
 // Without either variable set, benches only print their tables.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,6 +66,69 @@ inline void export_table(const std::string& name,
   obs::MetricsRegistry registry;
   add_table(registry, name, printer);
   export_run(name, registry);
+}
+
+/// Contributes one section to a shared multi-bench JSON file — the
+/// mechanism behind BENCH_update.json, which collects the update-path
+/// headline numbers from bench_update_burst, bench_ttf, and
+/// bench_tcam_update however many of them (and in whatever order) a CI
+/// run executes.
+///
+/// Each call writes the registry to <dir>/<bench>.d/<section>.json, then
+/// regenerates <dir>/<bench>.json as {"sections":{"<name>": <contents>,
+/// ...}} by embedding every section file verbatim (each is a complete
+/// JSON value, so the textual splice is itself valid JSON). No parsing,
+/// no cross-process locking: concurrent benches at worst re-embed each
+/// other's finished files. No-op unless CLUE_METRICS_DIR is set.
+inline void export_bench_section(const std::string& bench,
+                                 const std::string& section,
+                                 const obs::MetricsRegistry& registry) {
+  const char* dir = std::getenv("CLUE_METRICS_DIR");
+  if (!dir || !*dir) return;
+  namespace fs = std::filesystem;
+  const fs::path sections_dir = fs::path(dir) / (bench + ".d");
+  std::error_code ec;
+  fs::create_directories(sections_dir, ec);
+  if (ec) {
+    std::cerr << "metrics: cannot create " << sections_dir.string() << "\n";
+    return;
+  }
+  const fs::path section_path = sections_dir / (section + ".json");
+  {
+    std::ofstream out(section_path);
+    if (!out) {
+      std::cerr << "metrics: cannot write " << section_path.string() << "\n";
+      return;
+    }
+    out << registry.to_json() << "\n";
+  }
+  // Rebuild the combined file from every section present, sorted for a
+  // stable layout.
+  std::vector<fs::path> parts;
+  for (const auto& entry : fs::directory_iterator(sections_dir, ec)) {
+    if (entry.path().extension() == ".json") parts.push_back(entry.path());
+  }
+  std::sort(parts.begin(), parts.end());
+  const fs::path combined = fs::path(dir) / (bench + ".json");
+  std::ofstream out(combined);
+  if (!out) {
+    std::cerr << "metrics: cannot write " << combined.string() << "\n";
+    return;
+  }
+  out << "{\"sections\":{";
+  bool first = true;
+  for (const auto& part : parts) {
+    std::ifstream in(part);
+    if (!in) continue;
+    std::ostringstream body;
+    body << in.rdbuf();
+    if (!first) out << ',';
+    first = false;
+    out << '"' << part.stem().string() << "\":" << body.str();
+  }
+  out << "}}\n";
+  std::cout << "[metrics] wrote " << combined.string() << " (section "
+            << section << ")\n";
 }
 
 }  // namespace clue::bench

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 suite in a plain build, then the same suite under
 # ASan+UBSan, then the concurrency tests (SPSC ring, epoch domain,
-# runtime stress, rebalancer, observability counters/histograms) under
-# TSan, then a metrics-exporter smoke run (a small
-# bench_runtime_throughput whose JSON export must parse), then the
-# churn-soak: the rebalancer soak test rerun at CLUE_SOAK_UPDATES
-# updates (default 500000) of sustained hot-/8 churn. Any data race,
-# leak, UB, or test failure fails the script.
+# runtime stress, rebalancer, group-commit batches, observability
+# counters/histograms) under TSan, then a metrics-exporter smoke run
+# (bench_runtime_throughput + bench_update_burst, whose JSON exports
+# must parse and whose batched throughput must beat sequential), then
+# the churn-soak: the rebalancer soak test rerun at CLUE_SOAK_UPDATES
+# updates (default 500000) of sustained hot-/8 churn, and the
+# burst-soak: the async group-commit ingress hammered under TSan at
+# CLUE_SOAK_UPDATES bursty updates with concurrent lookups. Any data
+# race, leak, UB, or test failure fails the script.
 #
-#   $ ci/check.sh            # all five stages
+#   $ ci/check.sh            # all six stages
 #   $ ci/check.sh plain      # just the plain tier-1 run
 #   $ ci/check.sh asan       # just ASan+UBSan
 #   $ ci/check.sh tsan       # just TSan concurrency stage
 #   $ ci/check.sh smoke      # just the metrics-exporter smoke run
 #   $ ci/check.sh soak       # just the churn-soak
+#   $ ci/check.sh burst-soak # just the group-commit burst soak (TSan)
 #   $ CLUE_SOAK_UPDATES=100000 ci/check.sh soak   # bounded soak
 set -euo pipefail
 
@@ -48,7 +52,7 @@ run_tsan() {
   CLUE_SOAK_UPDATES="${CLUE_TSAN_SOAK_UPDATES:-5000}" \
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|FlatTableTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest|RebalancePlannerTest|RebalanceTest|RebalanceSoakTest'
+      -R 'SpscRingTest|EpochTest|LookupRuntimeTest|FlatTableTest|CounterBlockTest|LatencyHistogramTest|TtfTraceRingTest|RebalancePlannerTest|RebalanceTest|RebalanceSoakTest|CoalesceOps|BatchUpdate|BurstSoakTest'
 }
 
 run_smoke() {
@@ -91,6 +95,25 @@ EOF
   else
     echo "smoke: python3 not found, skipping JSON parse check"
   fi
+  # Group-commit smoke: a small burst replay must export BENCH_update.json
+  # and show the batched path at least matching the sequential one.
+  CLUE_METRICS_DIR="$out" CLUE_BENCH_UPDATES=1536 \
+    ./build/bench/bench_update_burst >/dev/null
+  [ -s "$out/BENCH_update.json" ] || {
+    echo "smoke: BENCH_update.json export missing" >&2
+    exit 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/BENCH_update.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+gauges = doc["sections"]["update_burst"]["gauges"]
+seq = gauges["update_burst.sequential_updates_per_sec"]
+bat = gauges["update_burst.batched_updates_per_sec"]
+assert seq > 0, "sequential phase did not run"
+assert bat >= seq, f"batched {bat:.0f}/s slower than sequential {seq:.0f}/s"
+EOF
+  fi
   echo "smoke: exporter output OK"
 }
 
@@ -102,21 +125,32 @@ run_soak() {
       -R 'RebalanceSoakTest'
 }
 
+run_burst_soak() {
+  echo "=== stage: burst-soak (${CLUE_SOAK_UPDATES:-100000} updates, TSan) ==="
+  configure_and_build build-tsan thread
+  CLUE_SOAK_UPDATES="${CLUE_SOAK_UPDATES:-100000}" \
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure \
+      -R 'BurstSoakTest'
+}
+
 case "$STAGE" in
   plain) run_plain ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
   smoke) run_smoke ;;
   soak) run_soak ;;
+  burst-soak) run_burst_soak ;;
   all)
     run_plain
     run_asan
     run_tsan
     run_smoke
     run_soak
+    run_burst_soak
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|smoke|soak|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|smoke|soak|burst-soak|all]" >&2
     exit 2
     ;;
 esac

@@ -92,7 +92,8 @@ void json_ttf_entry(std::ostream& os, const TtfTraceEntry& e) {
   os << ",\"rebalance_steps\":" << e.rebalance_steps
      << ",\"entries_migrated\":" << e.entries_migrated << ",\"flat_ns\":";
   json_number(os, e.flat_ns);
-  os << '}';
+  os << ",\"batch_size\":" << e.batch_size << ",\"ops_raw\":" << e.ops_raw
+     << ",\"ops_merged\":" << e.ops_merged << '}';
 }
 
 }  // namespace

@@ -38,6 +38,12 @@ struct TtfTraceEntry {
   /// Flat-image rebuild span inside TTF2 (0 = flat path off or no chip
   /// republished).
   double flat_ns = 0;
+  /// Group commit: update messages this trace covers (1 = the sequential
+  /// apply() path), and the diff-op stream before/after coalescing —
+  /// ops_raw - ops_merged is the chip work the batch never paid for.
+  std::uint32_t batch_size = 1;
+  std::uint32_t ops_raw = 0;
+  std::uint32_t ops_merged = 0;
 
   double total_ns() const { return ttf1_ns + ttf2_ns + ttf3_ns; }
 };

@@ -129,11 +129,21 @@ LookupRuntime::LookupRuntime(const trie::BinaryTrie& fib,
   for (std::size_t i = 0; i < config.worker_count; ++i) {
     workers_[i]->thread = std::thread([this, i] { worker_main(i); });
   }
+  if (config.update_ring_depth > 0) {
+    if (config_.update_batch_max == 0) config_.update_batch_max = 1;
+    update_ring_ = std::make_unique<SpscRing<workload::UpdateMsg>>(
+        config.update_ring_depth);
+    updater_thread_ = std::thread([this] { updater_main(); });
+  }
 }
 
 void LookupRuntime::stop() {
   stop_.store(true, std::memory_order_seq_cst);
   std::lock_guard<std::mutex> lock(stop_mutex_);
+  // Updater first: its in-flight apply_batch needs live workers to ack
+  // (both sides also bail on stop_, so either order terminates — this
+  // one lets a draining batch finish cleanly).
+  if (updater_thread_.joinable()) updater_thread_.join();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
@@ -643,6 +653,25 @@ void LookupRuntime::push_control(std::size_t chip, const ControlMsg& msg) {
   ++control_pushed_[chip];
 }
 
+void LookupRuntime::push_control_n(std::size_t chip, ControlMsg* msgs,
+                                   std::size_t count) {
+  Worker& worker = *workers_[chip];
+  std::size_t pushed = 0;
+  while (pushed < count) {
+    const std::size_t n =
+        worker.control->try_push_n(msgs + pushed, count - pushed);
+    if (n == 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+      continue;
+    }
+    pushed += n;
+  }
+  // Only what actually landed counts toward the ack target (a stopping
+  // runtime bails mid-push).
+  control_pushed_[chip] += pushed;
+}
+
 void LookupRuntime::wait_control_ack(std::size_t chip) {
   Worker& worker = *workers_[chip];
   unsigned spins = 0;
@@ -745,10 +774,14 @@ std::size_t LookupRuntime::migrate(const MigrationStep& step) {
   //    DReds may keep them — the route, and thus the answer, did not
   //    change, and they remain foreign prefixes there.
   if (dred_enabled_) {
+    // One batched ring write for the whole erase sweep instead of one
+    // cursor update per migrated route.
+    std::vector<ControlMsg> erases;
+    erases.reserve(migrated.size());
     for (const auto& route : migrated) {
-      push_control(step.receiver,
-                   ControlMsg{ControlMsg::Kind::kErase, route});
+      erases.push_back(ControlMsg{ControlMsg::Kind::kErase, route});
     }
+    push_control_n(step.receiver, erases.data(), erases.size());
     wait_control_ack(step.receiver);
   }
   epoch_.reclaim();
@@ -778,6 +811,89 @@ std::size_t LookupRuntime::rebalance_pass() {
 
 std::size_t LookupRuntime::rebalance_now() { return rebalance_pass(); }
 
+// ----------------------------------------------------------- async ingress
+
+bool LookupRuntime::submit(const workload::UpdateMsg& message) {
+  if (!update_ring_) return false;
+  while (!update_ring_->try_push(message)) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    std::this_thread::yield();
+  }
+  updates_submitted_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void LookupRuntime::flush_updates() {
+  if (!update_ring_) return;
+  unsigned spins = 0;
+  while (updates_ingested_.load(std::memory_order_acquire) <
+         updates_submitted_.load(std::memory_order_acquire)) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (++spins < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void LookupRuntime::updater_main() {
+  std::vector<workload::UpdateMsg> batch(config_.update_batch_max);
+  const double window_max_us = std::max(config_.update_window_us, 1.0);
+  double window_us = 1.0;
+  unsigned idle = 0;
+  for (;;) {
+    std::size_t n = update_ring_->try_pop_n(batch.data(), batch.size());
+    if (n == 0) {
+      // Empty ring at stop time = fully drained; exit. (A non-empty ring
+      // keeps applying below even while stopping, so submitted work is
+      // never silently dropped.)
+      if (stop_.load(std::memory_order_acquire)) break;
+      ++idle;
+      if (idle < 64) {
+        cpu_relax();
+      } else if (idle < 256) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        idle = 256;
+      }
+      continue;
+    }
+    idle = 0;
+    // Adaptive batch window: a partial pop waits up to window_us for the
+    // burst's stragglers so one commit covers them all.
+    const bool waited = n < batch.size();
+    if (waited) {
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::micro>(
+                                 window_us));
+      while (n < batch.size() && Clock::now() < deadline) {
+        const std::size_t got =
+            update_ring_->try_pop_n(batch.data() + n, batch.size() - n);
+        if (got > 0) {
+          n += got;
+        } else {
+          if (stop_.load(std::memory_order_acquire)) break;
+          cpu_relax();
+        }
+      }
+    }
+    apply_batch(std::span<const workload::UpdateMsg>(batch.data(), n));
+    updates_ingested_.fetch_add(n, std::memory_order_release);
+    // Adapt: a batch that filled without waiting means the arrival rate
+    // saturates the commit rate — shrink the window and commit sooner. A
+    // mostly-empty batch means the window is what is holding updates
+    // back — widen it (bounded) so the next burst amortises better.
+    if (!waited) {
+      window_us = std::max(1.0, window_us * 0.5);
+    } else if (n < batch.size() / 4) {
+      window_us = std::min(window_max_us, window_us * 2.0);
+    }
+  }
+}
+
 void LookupRuntime::rollback_update(const workload::UpdateMsg& message,
                                     const std::optional<NextHop>& prior) {
   // Invert the ground-truth mutation so trie, chips, and DReds agree
@@ -792,23 +908,45 @@ void LookupRuntime::rollback_update(const workload::UpdateMsg& message,
 }
 
 update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
-  update::TtfSample sample;
+  // Exactly a group commit of one: same admission, same publish path,
+  // same trace — plus the historical throwing contract on rejection.
+  const workload::UpdateMsg one[1] = {message};
+  const update::BatchTtfSample batch =
+      apply_batch(std::span<const workload::UpdateMsg>(one, 1));
+  if (batch.rejected > 0) {
+    throw tcam::TcamFullError("LookupRuntime::apply", chip_capacity_);
+  }
+  return batch.ttf;
+}
+
+update::BatchTtfSample LookupRuntime::apply_batch(
+    std::span<const workload::UpdateMsg> messages) {
+  update::BatchTtfSample batch;
+  if (messages.empty()) return batch;
   const auto t0 = Clock::now();
-  // The exact prior route (if any) is the rollback token for a rejected
-  // admission; capture it before the diff mutates the ground truth.
-  const std::optional<NextHop> prior =
-      fib_.ground_truth().find(message.prefix);
-  const auto ops =
-      message.kind == workload::UpdateKind::kAnnounce
-          ? fib_.announce(message.prefix, message.next_hop)
-          : fib_.withdraw(message.prefix);
-  sample.ttf1_ns = elapsed_ns(t0);
-  if (ops.empty()) return sample;
+
+  // --- TTF1: every message's ONRTC diff, in submission order. --------
+  // per_msg[k] keeps message k's raw ops separable so a suffix rollback
+  // can drop them without re-running the kept prefix; priors[k] is its
+  // exact prior ground-truth route — the rollback token.
+  std::vector<std::vector<onrtc::FibOp>> per_msg;
+  std::vector<std::optional<NextHop>> priors;
+  per_msg.reserve(messages.size());
+  priors.reserve(messages.size());
+  for (const auto& message : messages) {
+    priors.push_back(fib_.ground_truth().find(message.prefix));
+    per_msg.push_back(
+        message.kind == workload::UpdateKind::kAnnounce
+            ? fib_.announce(message.prefix, message.next_hop)
+            : fib_.withdraw(message.prefix));
+  }
+  batch.ttf.ttf1_ns = elapsed_ns(t0);
 
   obs::TtfTraceEntry trace;
-  trace.ttf1_ns = sample.ttf1_ns;
+  trace.ttf1_ns = batch.ttf.ttf1_ns;
+  trace.batch_size = static_cast<std::uint32_t>(messages.size());
   // Queue-depth sample: how hard the data plane was running when this
-  // update cut in (correlates TTF tails with lookup pressure).
+  // commit cut in (correlates TTF tails with lookup pressure).
   std::size_t depth_sum = 0;
   for (const auto& worker : workers_) {
     const std::size_t depth = worker->jobs->size_approx();
@@ -819,7 +957,7 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   trace.queue_depth_mean = static_cast<double>(depth_sum) /
                            static_cast<double>(workers_.size());
 
-  // --- TTF2: shadow copies, admission control, atomic publishes. -----
+  // --- TTF2: coalesce, admit, shadow once per chip, publish once. ----
   const auto t1 = Clock::now();
   std::vector<ChipTable*> shadows(workers_.size(), nullptr);
   std::vector<ControlMsg> broadcast;
@@ -828,14 +966,16 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
   // lie within it).
   std::vector<std::vector<Prefix>> dirty(workers_.size());
 
-  // Builds every affected chip's shadow at the *current* boundaries.
-  // Inserts split fresh; deletes/modifies instead range-query the chip
-  // for its *stored* shapes — after a boundary migration the pieces
-  // stored at insert time no longer match a fresh split, and an exact-
-  // prefix erase of recomputed pieces would strand entries. The DRed
-  // broadcast uses the same stored shapes, because DRed fills only ever
-  // carry stored shapes.
-  const auto build_shadows = [&] {
+  // Builds every affected chip's shadow at the *current* boundaries from
+  // the already-coalesced net ops — one trie copy, one flat rebuild, one
+  // publish per chip however many messages touched it. Inserts split
+  // fresh; deletes/modifies instead range-query the chip for its
+  // *stored* shapes — after a boundary migration the pieces stored at
+  // insert time no longer match a fresh split, and an exact-prefix erase
+  // of recomputed pieces would strand entries. The DRed broadcast uses
+  // the same stored shapes, because DRed fills only ever carry stored
+  // shapes.
+  const auto build_shadows = [&](const std::vector<onrtc::FibOp>& ops) {
     for (auto& d : dirty) d.clear();  // admission retries rebuild these
     std::vector<std::vector<std::pair<onrtc::FibOpKind, Route>>> per_chip(
         workers_.size());
@@ -901,13 +1041,26 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
     broadcast.clear();
   };
 
-  // Admission loop: a shadow that exceeds the chip capacity triggers one
-  // emergency rebalance (which frees headroom by evening out occupancy)
-  // and a rebuild at the new boundaries; if even the balanced layout
-  // cannot absorb the update, roll the trie back and reject.
-  constexpr int kAdmissionAttempts = 2;
-  for (int attempt = 0;; ++attempt) {
-    build_shadows();
+  // Admission loop with exact suffix rollback. The merged ops are the
+  // burst's net table transition; a shadow exceeding the chip capacity
+  // first triggers one emergency rebalance (frees headroom by evening
+  // out occupancy, moves boundaries — hence the full re-plan), then
+  // messages are un-applied from the end of the batch (reverse order, so
+  // each inversion sees exactly the trie state its message saw) until
+  // the remainder fits. Nothing touches a chip or DRed until admission
+  // has passed, so trie, chips, and DReds stay mutually consistent.
+  std::size_t keep = messages.size();
+  std::vector<onrtc::FibOp> raw;
+  std::vector<onrtc::FibOp> merged;
+  update::CoalesceStats stats;
+  bool rebalanced = !planner_.config().enabled;
+  for (;;) {
+    raw.clear();
+    for (std::size_t k = 0; k < keep; ++k) {
+      raw.insert(raw.end(), per_msg[k].begin(), per_msg[k].end());
+    }
+    merged = update::coalesce_ops(raw, &stats);
+    build_shadows(merged);
     bool fits = true;
     for (const auto* shadow : shadows) {
       if (shadow && shadow->table.size() > chip_capacity_) {
@@ -917,57 +1070,90 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
     }
     if (fits) break;
     discard_shadows();
-    std::size_t moved_steps = 0;
-    if (planner_.config().enabled && attempt + 1 < kAdmissionAttempts) {
+    if (!rebalanced) {
+      rebalanced = true;
       const auto rb0 = Clock::now();
       const std::uint64_t entries_before =
           entries_migrated_.load(std::memory_order_relaxed);
-      moved_steps = rebalance_pass();
+      const std::size_t moved_steps = rebalance_pass();
       trace.rebalance_steps += static_cast<std::uint32_t>(moved_steps);
       trace.entries_migrated += static_cast<std::uint32_t>(
           entries_migrated_.load(std::memory_order_relaxed) - entries_before);
       trace.rebalance_ns += elapsed_ns(rb0);
+      if (moved_steps > 0) continue;
     }
-    if (moved_steps == 0) {
-      rollback_update(message, prior);
-      updates_rejected_.fetch_add(1, std::memory_order_seq_cst);
-      throw tcam::TcamFullError("LookupRuntime::apply", chip_capacity_);
-    }
+    --keep;
+    rollback_update(messages[keep], priors[keep]);
+    updates_rejected_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  batch.applied = keep;
+  batch.rejected = messages.size() - keep;
+  batch.raw_ops = stats.raw_ops;
+  batch.merged_ops = stats.merged_ops;
+  trace.ops_raw = static_cast<std::uint32_t>(stats.raw_ops);
+  trace.ops_merged = static_cast<std::uint32_t>(stats.merged_ops);
+
+  // Messages the data plane can observe: kept ones with a non-empty
+  // diff. No-op messages never bump the oracle counters — exactly the
+  // sequential path's empty-diff early return.
+  std::size_t effective = 0;
+  for (std::size_t k = 0; k < keep; ++k) {
+    if (!per_msg[k].empty()) ++effective;
+  }
+  if (effective == 0) {
+    batch.ttf.ttf2_ns = elapsed_ns(t1);
+    return batch;
   }
 
-  // Admission passed: from here the update publishes. Any lookup answer
+  // Admission passed: from here the batch publishes. Any lookup answer
   // ever produced stays within the [updates_completed before submit,
-  // updates_started after completion] oracle window — rejected updates
-  // never bump either counter, and migrations never change answers.
-  trace.seq = updates_started_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  // updates_started after completion] oracle window — rejected messages
+  // never bump either counter, migrations never change answers, and the
+  // single publish per chip means no *intermediate* batch state is ever
+  // observable: each chip jumps from the pre-batch to the post-batch
+  // table in one pointer swap.
+  trace.seq = updates_started_.fetch_add(effective,
+                                         std::memory_order_seq_cst) +
+              effective;
   for (std::size_t chip = 0; chip < workers_.size(); ++chip) {
     if (!shadows[chip]) continue;
     ++trace.chips_touched;
     // The flat rebuild is part of the publish (and so of TTF2): the new
     // image copy-on-writes from the still-active version's image over
-    // this update's dirty prefixes, so its cost tracks the diff size.
+    // this batch's dirty prefixes, so its cost tracks the net diff size
+    // — each dirty chunk is rewritten once per batch, not per message.
     const ChipTable* old =
         workers_[chip]->active.load(std::memory_order_relaxed);
     trace.flat_ns += attach_flat(*shadows[chip], old, dirty[chip]);
     publish_table(chip, shadows[chip]);
     shadows[chip] = nullptr;
   }
-  sample.ttf2_ns = elapsed_ns(t1);
+  // One grace barrier closes the whole batch: after it every worker has
+  // left the retired tables, so the reclaim below frees them all — the
+  // batch holds at most one shadow per chip however many messages it
+  // carried.
+  if (trace.chips_touched > 0) epoch_.synchronize();
+  batch.ttf.ttf2_ns = elapsed_ns(t1);
 
-  // --- TTF3: DRed erase/fix broadcast, wait for worker acks. ---------
+  // --- TTF3: one batched DRed erase/fix sweep, wait for worker acks. --
   const auto t2 = Clock::now();
   if (dred_enabled_ && !broadcast.empty()) {
     trace.control_msgs =
         static_cast<std::uint32_t>(broadcast.size() * workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      for (const auto& msg : broadcast) push_control(i, msg);
+      push_control_n(i, broadcast.data(), broadcast.size());
     }
     for (std::size_t i = 0; i < workers_.size(); ++i) wait_control_ack(i);
   }
-  sample.ttf3_ns = elapsed_ns(t2);
+  batch.ttf.ttf3_ns = elapsed_ns(t2);
 
-  updates_completed_.fetch_add(1, std::memory_order_seq_cst);
+  updates_completed_.fetch_add(effective, std::memory_order_seq_cst);
   epoch_.reclaim();
+
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  batch_ops_raw_.fetch_add(stats.raw_ops, std::memory_order_relaxed);
+  batch_ops_merged_.fetch_add(stats.merged_ops, std::memory_order_relaxed);
+  batch_publishes_.fetch_add(trace.chips_touched, std::memory_order_relaxed);
 
   // Drift watch (the rebalancer's steady-state trigger): occupancy just
   // changed, so re-check the watermarks and even out while the skew is
@@ -983,10 +1169,11 @@ update::TtfSample LookupRuntime::apply(const workload::UpdateMsg& message) {
     trace.rebalance_ns += elapsed_ns(rb0);
   }
 
-  trace.ttf2_ns = sample.ttf2_ns;
-  trace.ttf3_ns = sample.ttf3_ns;
+  trace.ttf2_ns = batch.ttf.ttf2_ns;
+  trace.ttf3_ns = batch.ttf.ttf3_ns;
   ttf_ring_.record(trace);
-  return sample;
+  batch_apply_hist_.record(elapsed_ns(t0));
+  return batch;
 }
 
 // ---------------------------------------------------------------- metrics
@@ -1017,6 +1204,12 @@ RuntimeMetrics LookupRuntime::metrics() const {
   m.batches_aborted = client_counters_.get(ClientCounter::kBatchesAborted);
   m.updates_applied = updates_completed_.load(std::memory_order_relaxed);
   m.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
+  m.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  m.batch_ops_raw = batch_ops_raw_.load(std::memory_order_relaxed);
+  m.batch_ops_merged = batch_ops_merged_.load(std::memory_order_relaxed);
+  m.batch_publishes = batch_publishes_.load(std::memory_order_relaxed);
+  m.updates_submitted = updates_submitted_.load(std::memory_order_relaxed);
+  m.updates_ingested = updates_ingested_.load(std::memory_order_relaxed);
   m.tables_published = tables_published_.load(std::memory_order_relaxed);
   m.tables_reclaimed = epoch_.reclaimed();
   m.tables_pending = epoch_.pending();
@@ -1062,6 +1255,18 @@ void LookupRuntime::export_metrics(obs::MetricsRegistry& registry) const {
   registry.set_counter("runtime.fills_dropped_stale", m.fills_dropped_stale);
   registry.set_counter("runtime.updates_applied", m.updates_applied);
   registry.set_counter("runtime.updates_rejected", m.updates_rejected);
+  registry.set_counter("runtime.batches_applied", m.batches_applied);
+  registry.set_counter("runtime.batch_ops_raw", m.batch_ops_raw);
+  registry.set_counter("runtime.batch_ops_merged", m.batch_ops_merged);
+  registry.set_counter("runtime.batch_publishes", m.batch_publishes);
+  registry.set_counter("runtime.updates_submitted", m.updates_submitted);
+  registry.set_counter("runtime.updates_ingested", m.updates_ingested);
+  // Fraction of raw diff ops the group commits never paid for.
+  registry.set_gauge("runtime.batch_coalesce_saving",
+                     m.batch_ops_raw == 0
+                         ? 0.0
+                         : 1.0 - static_cast<double>(m.batch_ops_merged) /
+                                     static_cast<double>(m.batch_ops_raw));
   registry.set_counter("runtime.tables_published", m.tables_published);
   registry.set_counter("runtime.tables_reclaimed", m.tables_reclaimed);
   registry.set_counter("runtime.tables_pending", m.tables_pending);
@@ -1089,6 +1294,8 @@ void LookupRuntime::export_metrics(obs::MetricsRegistry& registry) const {
           : 1.0 - static_cast<double>(occupied_max) /
                       static_cast<double>(chip_capacity_));
   registry.add_histogram("runtime.client.latency_ns", client_hist_.snapshot());
+  registry.add_histogram("runtime.batch_apply_ns",
+                         batch_apply_hist_.snapshot());
   registry.add_histogram("runtime.rebalance_ns", rebalance_hist_.snapshot());
   registry.add_histogram("runtime.flat_rebuild_ns",
                          flat_rebuild_hist_.snapshot());

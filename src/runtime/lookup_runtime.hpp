@@ -70,6 +70,7 @@
 #include "runtime/spsc_ring.hpp"
 #include "trie/binary_trie.hpp"
 #include "update/cost_model.hpp"
+#include "update/group_commit.hpp"
 #include "workload/update_gen.hpp"
 
 namespace clue::runtime {
@@ -117,6 +118,22 @@ struct RuntimeConfig {
   /// disables fills). Applied on the trie path too, so flat on/off A/B
   /// compares lookup cost, not fill policy.
   std::size_t fill_sample_every = 8;
+  /// Async control-plane ingress: > 0 starts an updater thread fed by a
+  /// bounded SPSC ring of this depth; submit() enqueues update messages
+  /// and the updater drains them through apply_batch() in adaptive
+  /// windows. 0 (the default) disables the thread — apply()/apply_batch()
+  /// stay direct calls from the external control role. While the ingress
+  /// is enabled it *is* the control role: do not call apply(),
+  /// apply_batch(), or rebalance_now() from outside.
+  std::size_t update_ring_depth = 0;
+  /// Largest batch one updater pass hands to apply_batch().
+  std::size_t update_batch_max = 256;
+  /// Upper bound of the adaptive batch window: after a partial pop the
+  /// updater keeps topping the batch up for at most this long before
+  /// committing. The live window halves whenever a batch fills without
+  /// waiting (arrival rate is high; commit early, stay low-latency) and
+  /// doubles after a mostly-empty batch, clamped to [1us, this bound].
+  double update_window_us = 128.0;
 };
 
 /// Per-worker counter names; one obs::CounterBlock per chip worker.
@@ -165,6 +182,15 @@ struct RuntimeMetrics {
   std::uint64_t fills_dropped_stale = 0;  ///< home table moved on: discarded
   std::uint64_t updates_applied = 0;
   std::uint64_t updates_rejected = 0;  ///< TcamFullError after rollback
+  std::uint64_t batches_applied = 0;   ///< apply_batch() calls that published
+  std::uint64_t batch_ops_raw = 0;     ///< diff ops entering coalescing
+  std::uint64_t batch_ops_merged = 0;  ///< diff ops surviving coalescing
+  /// Chip tables published by batch commits; batch_publishes /
+  /// batches_applied is the publish-amortisation ratio (affected chips
+  /// per batch — exactly one publish each).
+  std::uint64_t batch_publishes = 0;
+  std::uint64_t updates_submitted = 0;  ///< accepted by submit()
+  std::uint64_t updates_ingested = 0;   ///< drained by the updater thread
   /// RCU versions published: chip tables plus indexing republishes
   /// (each is one retire in the shared epoch domain).
   std::uint64_t tables_published = 0;
@@ -218,6 +244,35 @@ class LookupRuntime {
   /// crossing runs an ordinary rebalance pass before returning.
   update::TtfSample apply(const workload::UpdateMsg& message);
 
+  /// Control role. Group commit: applies a whole burst of updates as one
+  /// table transition per affected chip. All ONRTC diffs run first
+  /// (TTF1), the combined diff-op stream is coalesced to its net effect
+  /// (insert+delete pairs cancel, modifies last-writer-win), each
+  /// affected chip's shadow is built and published *once* — one flat
+  /// image rebuild and one epoch retire per chip per batch, closed by a
+  /// single grace barrier — and all DRed erase/fix messages go out as
+  /// one batched sweep per worker ring (TTF3).
+  ///
+  /// Admission stays exact at batch granularity: on overflow one
+  /// emergency rebalance runs, then messages roll back from the *end* of
+  /// the batch until the remainder fits. Never throws: the rejected
+  /// suffix is reported in the returned sample (and updates_rejected)
+  /// and trie/chips/DReds stay mutually consistent. apply() is exactly
+  /// apply_batch() of one message plus a throw when that message was
+  /// rejected.
+  update::BatchTtfSample apply_batch(
+      std::span<const workload::UpdateMsg> messages);
+
+  /// Async ingress (enabled by RuntimeConfig::update_ring_depth > 0).
+  /// Enqueues one update for the updater thread; single producer. Blocks
+  /// (spins) while the ring is full; returns false only when the ingress
+  /// is disabled or the runtime stopped before the message was accepted.
+  bool submit(const workload::UpdateMsg& message);
+  /// Waits until every submit()-accepted update has been applied by the
+  /// updater thread (or the runtime stopped). Call from the submitting
+  /// thread after its last submit().
+  void flush_updates();
+
   /// Control role. Forces one rebalance pass regardless of watermarks;
   /// returns the number of migrations executed (0 when already even).
   std::size_t rebalance_now();
@@ -243,7 +298,10 @@ class LookupRuntime {
   std::size_t reclaim() { return epoch_.reclaim(); }
 
   /// Updates fully visible to the data plane (tables published AND
-  /// DReds synced). Monotonic; bumped at the end of apply().
+  /// DReds synced). Monotonic; bumped at the end of apply() and, by the
+  /// number of applied messages, at the end of apply_batch() — a batch
+  /// exposes only its boundary states, so both counters move across it
+  /// without any intermediate value becoming observable.
   std::uint64_t updates_completed() const {
     return updates_completed_.load(std::memory_order_seq_cst);
   }
@@ -399,6 +457,9 @@ class LookupRuntime {
   void publish_indexing();
   /// Pushes one control message to worker `chip` (spin on a full ring).
   void push_control(std::size_t chip, const ControlMsg& msg);
+  /// Batched variant: lands `count` messages with as few ring-cursor
+  /// updates as the free space allows (spins between partial pushes).
+  void push_control_n(std::size_t chip, ControlMsg* msgs, std::size_t count);
   /// Waits until worker `chip` acked everything pushed to it.
   void wait_control_ack(std::size_t chip);
   /// Executes one planned migration; returns entries moved.
@@ -418,6 +479,10 @@ class LookupRuntime {
   /// Control role only; 0 and no-op when flat_lookup is off.
   double attach_flat(ChipTable& next, const ChipTable* prev,
                      std::span<const Prefix> dirty);
+
+  /// Updater-thread main loop: pops submitted updates in adaptive
+  /// windows and runs them through apply_batch().
+  void updater_main();
 
   RuntimeConfig config_;
   onrtc::CompressedFib fib_;
@@ -454,6 +519,16 @@ class LookupRuntime {
   std::atomic<std::uint64_t> rebalance_passes_{0};
   std::atomic<std::uint64_t> rebalance_steps_{0};
   std::atomic<std::uint64_t> entries_migrated_{0};
+  std::atomic<std::uint64_t> batches_applied_{0};
+  std::atomic<std::uint64_t> batch_ops_raw_{0};
+  std::atomic<std::uint64_t> batch_ops_merged_{0};
+  std::atomic<std::uint64_t> batch_publishes_{0};
+
+  // Async ingress (null/absent unless config.update_ring_depth > 0).
+  std::unique_ptr<SpscRing<workload::UpdateMsg>> update_ring_;
+  std::thread updater_thread_;
+  std::atomic<std::uint64_t> updates_submitted_{0};
+  std::atomic<std::uint64_t> updates_ingested_{0};
 
   // Control-thread-private bookkeeping (how many control messages have
   // been pushed to each worker, to wait for acks).
@@ -469,6 +544,9 @@ class LookupRuntime {
 
   // Control-role observability.
   obs::TtfTraceRing ttf_ring_;
+  /// Wall time of each apply_batch() call, entry to return (control
+  /// thread is the single writer; exported as "runtime.batch_apply_ns").
+  obs::LatencyHistogram batch_apply_hist_;
   /// Wall time of each rebalance pass (control thread is the single
   /// writer; exported as "runtime.rebalance_ns").
   obs::LatencyHistogram rebalance_hist_;

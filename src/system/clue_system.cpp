@@ -74,93 +74,59 @@ NextHop ClueSystem::lookup(Ipv4Address address) {
   return result.hit ? result.next_hop : netbase::kNoRoute;
 }
 
-update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
-  update::TtfSample sample;
-
-  const auto start = Clock::now();
-  // Rollback token for a rejected admission: the exact prior route.
-  const std::optional<NextHop> prior =
-      fib_.ground_truth().find(message.prefix);
-  const auto ops =
-      message.kind == workload::UpdateKind::kAnnounce
-          ? fib_.announce(message.prefix, message.next_hop)
-          : fib_.withdraw(message.prefix);
-  sample.ttf1_ns = elapsed_ns(start);
-  if (ops.empty()) return sample;
-
-  // One (kind, region-or-piece, chip) work item per chip touched.
-  // Inserts split fresh at the current boundaries; deletes/modifies
-  // carry the whole region and expand to the chip's *stored* shapes at
-  // execution time — after a boundary migration the stored shapes no
-  // longer match a fresh split, so an exact-prefix erase of recomputed
-  // pieces would strand entries.
-  struct WorkItem {
-    onrtc::FibOpKind kind;
-    std::size_t chip;
-    Route route;
-  };
+// One (kind, region-or-piece, chip) work item per chip touched.
+// Inserts split fresh at the current boundaries; deletes/modifies
+// carry the whole region and expand to the chip's *stored* shapes at
+// execution time — after a boundary migration the stored shapes no
+// longer match a fresh split, so an exact-prefix erase of recomputed
+// pieces would strand entries.
+std::vector<ClueSystem::WorkItem> ClueSystem::plan_work(
+    std::span<const onrtc::FibOp> ops) const {
   std::vector<WorkItem> work;
-  const auto plan_work = [&] {
-    work.clear();
-    for (const auto& op : ops) {
-      if (op.kind == onrtc::FibOpKind::kInsert) {
-        for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
-          work.push_back(
-              WorkItem{op.kind, chip, Route{piece, op.route.next_hop}});
-        }
-      } else {
-        std::size_t last_chip = ~std::size_t{0};
-        for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
-          if (chip == last_chip) continue;
-          last_chip = chip;
-          work.push_back(WorkItem{op.kind, chip, op.route});
-        }
+  for (const auto& op : ops) {
+    if (op.kind == onrtc::FibOpKind::kInsert) {
+      for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
+        work.push_back(
+            WorkItem{op.kind, chip, Route{piece, op.route.next_hop}});
       }
-    }
-  };
-  // Worst-case growth precheck (admission control). Counting every
-  // absent insert piece and crediting no delete is a true upper bound on
-  // any transient occupancy during the op sequence, so a passing update
-  // can never hit TcamFullError mid-flight and leave a chip half
-  // written. The price is a rare spurious rejection of a delete+insert
-  // update against a brim-full chip.
-  const auto fits = [&] {
-    std::vector<std::size_t> projected(chips_.size());
-    for (std::size_t i = 0; i < chips_.size(); ++i) {
-      projected[i] = chips_[i]->size();
-    }
-    for (const auto& item : work) {
-      if (item.kind != onrtc::FibOpKind::kInsert) continue;
-      if (!chips_[item.chip]->chip().slot_of(item.route.prefix)) {
-        ++projected[item.chip];
+    } else {
+      std::size_t last_chip = ~std::size_t{0};
+      for (const auto& [chip, piece] : pieces_of(op.route.prefix)) {
+        if (chip == last_chip) continue;
+        last_chip = chip;
+        work.push_back(WorkItem{op.kind, chip, op.route});
       }
-    }
-    for (const auto& p : projected) {
-      if (p > tcam_capacity_) return false;
-    }
-    return true;
-  };
-
-  plan_work();
-  if (!fits()) {
-    // Emergency rebalance: even out occupancy, then re-plan at the new
-    // boundaries. If even the balanced layout cannot absorb the update,
-    // reject it cleanly: undo the trie diff so trie, chips, and DReds
-    // all still agree, and surface a typed, recoverable error.
-    std::size_t moved = planner_.config().enabled ? rebalance_pass() : 0;
-    if (moved > 0) plan_work();
-    if (moved == 0 || !fits()) {
-      if (prior) {
-        fib_.announce(message.prefix, *prior);
-      } else if (message.kind == workload::UpdateKind::kAnnounce) {
-        fib_.withdraw(message.prefix);
-      }
-      ++updates_rejected_;
-      throw tcam::TcamFullError("ClueSystem::apply", tcam_capacity_);
     }
   }
+  return work;
+}
 
-  // Chips update independently, so TTF2 is the slowest chip's share.
+// Worst-case growth precheck (admission control). Counting every
+// absent insert piece and crediting no delete is a true upper bound on
+// any transient occupancy during the op sequence, so a passing update
+// can never hit TcamFullError mid-flight and leave a chip half
+// written. The price is a rare spurious rejection of a delete+insert
+// update against a brim-full chip.
+bool ClueSystem::fits(const std::vector<WorkItem>& work) const {
+  std::vector<std::size_t> projected(chips_.size());
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    projected[i] = chips_[i]->size();
+  }
+  for (const auto& item : work) {
+    if (item.kind != onrtc::FibOpKind::kInsert) continue;
+    if (!chips_[item.chip]->chip().slot_of(item.route.prefix)) {
+      ++projected[item.chip];
+    }
+  }
+  for (const auto& p : projected) {
+    if (p > tcam_capacity_) return false;
+  }
+  return true;
+}
+
+// Chips update independently, so TTF2 is the slowest chip's share.
+void ClueSystem::execute_work(const std::vector<WorkItem>& work,
+                              update::TtfSample& sample) {
   std::vector<std::size_t> per_chip_ops(chips_.size(), 0);
   std::size_t dred_ops = 0;
   for (const auto& item : work) {
@@ -194,18 +160,122 @@ update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
         break;
     }
   }
-  sample.ttf2_ns =
+  sample.ttf2_ns +=
       static_cast<double>(
           *std::max_element(per_chip_ops.begin(), per_chip_ops.end())) *
       update::CostModel::kTcamOpNs;
-  sample.ttf3_ns =
+  sample.ttf3_ns +=
       static_cast<double>(dred_ops) * update::CostModel::kTcamOpNs;
+}
+
+update::TtfSample ClueSystem::apply(const workload::UpdateMsg& message) {
+  update::TtfSample sample;
+
+  const auto start = Clock::now();
+  // Rollback token for a rejected admission: the exact prior route.
+  const std::optional<NextHop> prior =
+      fib_.ground_truth().find(message.prefix);
+  const auto ops =
+      message.kind == workload::UpdateKind::kAnnounce
+          ? fib_.announce(message.prefix, message.next_hop)
+          : fib_.withdraw(message.prefix);
+  sample.ttf1_ns = elapsed_ns(start);
+  if (ops.empty()) return sample;
+
+  auto work = plan_work(ops);
+  if (!fits(work)) {
+    // Emergency rebalance: even out occupancy, then re-plan at the new
+    // boundaries. If even the balanced layout cannot absorb the update,
+    // reject it cleanly: undo the trie diff so trie, chips, and DReds
+    // all still agree, and surface a typed, recoverable error.
+    std::size_t moved = planner_.config().enabled ? rebalance_pass() : 0;
+    if (moved > 0) work = plan_work(ops);
+    if (moved == 0 || !fits(work)) {
+      if (prior) {
+        fib_.announce(message.prefix, *prior);
+      } else if (message.kind == workload::UpdateKind::kAnnounce) {
+        fib_.withdraw(message.prefix);
+      }
+      ++updates_rejected_;
+      throw tcam::TcamFullError("ClueSystem::apply", tcam_capacity_);
+    }
+  }
+
+  execute_work(work, sample);
 
   // Drift watch: even out while the skew is still small.
   if (planner_.should_rebalance(chip_occupancy(), tcam_capacity_)) {
     rebalance_pass();
   }
   return sample;
+}
+
+update::BatchTtfSample ClueSystem::apply_batch(
+    std::span<const workload::UpdateMsg> messages) {
+  update::BatchTtfSample batch;
+  if (messages.empty()) return batch;
+
+  // --- TTF1: every message's incremental ONRTC diff, in order. --------
+  // per_msg[k] keeps message k's raw ops separable for suffix rollback;
+  // priors[k] is its exact prior ground-truth route (rollback token).
+  const auto start = Clock::now();
+  std::vector<std::vector<onrtc::FibOp>> per_msg;
+  std::vector<std::optional<NextHop>> priors;
+  per_msg.reserve(messages.size());
+  priors.reserve(messages.size());
+  for (const auto& message : messages) {
+    priors.push_back(fib_.ground_truth().find(message.prefix));
+    per_msg.push_back(
+        message.kind == workload::UpdateKind::kAnnounce
+            ? fib_.announce(message.prefix, message.next_hop)
+            : fib_.withdraw(message.prefix));
+  }
+  batch.ttf.ttf1_ns = elapsed_ns(start);
+
+  // --- Coalesce + admission with exact suffix rollback. ---------------
+  // Re-planning inside the loop is required even when `merged` shrinks:
+  // an emergency rebalance moves boundaries, which changes every piece.
+  std::size_t keep = messages.size();
+  std::vector<onrtc::FibOp> raw;
+  std::vector<onrtc::FibOp> merged;
+  update::CoalesceStats stats;
+  std::vector<WorkItem> work;
+  bool rebalanced = !planner_.config().enabled;
+  for (;;) {
+    raw.clear();
+    for (std::size_t k = 0; k < keep; ++k) {
+      raw.insert(raw.end(), per_msg[k].begin(), per_msg[k].end());
+    }
+    merged = update::coalesce_ops(raw, &stats);
+    work = plan_work(merged);
+    if (fits(work) || keep == 0) break;
+    // One emergency rebalance per batch before shedding any message —
+    // mirrors apply()'s order (rebalance first, reject second).
+    if (!rebalanced) {
+      rebalanced = true;
+      if (rebalance_pass() > 0) continue;
+    }
+    --keep;
+    const auto& message = messages[keep];
+    if (priors[keep]) {
+      fib_.announce(message.prefix, *priors[keep]);
+    } else if (message.kind == workload::UpdateKind::kAnnounce) {
+      fib_.withdraw(message.prefix);
+    }
+    ++updates_rejected_;
+  }
+  batch.applied = keep;
+  batch.rejected = messages.size() - keep;
+  batch.raw_ops = stats.raw_ops;
+  batch.merged_ops = stats.merged_ops;
+
+  // --- TTF2 + TTF3: one chip pass and one DRed sweep over net ops. ----
+  execute_work(work, batch.ttf);
+
+  if (planner_.should_rebalance(chip_occupancy(), tcam_capacity_)) {
+    rebalance_pass();
+  }
+  return batch;
 }
 
 std::vector<std::size_t> ClueSystem::chip_occupancy() const {

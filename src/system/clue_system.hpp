@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "engine/dred.hpp"
@@ -29,6 +30,7 @@
 #include "runtime/lookup_runtime.hpp"
 #include "tcam/updater.hpp"
 #include "update/cost_model.hpp"
+#include "update/group_commit.hpp"
 #include "workload/update_gen.hpp"
 
 namespace clue::system {
@@ -73,6 +75,21 @@ class ClueSystem {
   /// a successful apply a watermark crossing runs a rebalance pass.
   update::TtfSample apply(const workload::UpdateMsg& message);
 
+  /// Group commit: applies a whole burst as one table transition per
+  /// chip. All trie diffs run first, their ops coalesce to the burst's
+  /// net effect (update::coalesce_ops), and each affected chip plus the
+  /// DReds are written once per net op. TTF2 remains the critical path
+  /// (max net ops on any one chip x 24 ns); TTF3 is one probe sweep per
+  /// net delete/modify shape.
+  ///
+  /// Admission is exact at batch granularity: overflow first triggers an
+  /// emergency rebalance, then messages roll back from the *end* of the
+  /// batch until the remainder fits. The committed prefix stays
+  /// consistent across trie, chips, and DReds; the rejected suffix is
+  /// counted (updates_rejected()) instead of throwing.
+  update::BatchTtfSample apply_batch(
+      std::span<const workload::UpdateMsg> messages);
+
   /// Forces one rebalance pass regardless of watermarks; returns the
   /// number of migrations executed (0 when already even).
   std::size_t rebalance_now();
@@ -116,11 +133,28 @@ class ClueSystem {
   void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
+  /// One (kind, region-or-piece) chip work item; deletes/modifies carry
+  /// the whole region and expand to the chip's stored shapes at
+  /// execution time (see apply()).
+  struct WorkItem {
+    onrtc::FibOpKind kind;
+    std::size_t chip;
+    Route route;
+  };
+
   /// The chip index owning `address`.
   std::size_t chip_of(Ipv4Address address) const;
   /// Splits `prefix` at partition boundaries into per-chip pieces.
   std::vector<std::pair<std::size_t, Prefix>> pieces_of(
       const Prefix& prefix) const;
+  /// Expands diff ops into per-chip work items at current boundaries.
+  std::vector<WorkItem> plan_work(std::span<const onrtc::FibOp> ops) const;
+  /// Worst-case growth admission check for `work` (see apply()).
+  bool fits(const std::vector<WorkItem>& work) const;
+  /// Executes planned work on chips + DReds, filling TTF2/TTF3 of
+  /// `sample` (critical-path chip ops, one probe sweep per shape).
+  void execute_work(const std::vector<WorkItem>& work,
+                    update::TtfSample& sample);
   /// Rebuilds indexing_ from boundaries_ after a migration.
   void refresh_indexing();
   /// Executes one planned migration; returns entries moved.

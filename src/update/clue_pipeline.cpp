@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "engine/dispatch_policy.hpp"
+
 namespace clue::update {
 
 namespace {
@@ -114,16 +116,121 @@ TtfSample CluePipeline::apply(const workload::UpdateMsg& message) {
   return sample;
 }
 
+BatchTtfSample CluePipeline::apply_batch(
+    std::span<const workload::UpdateMsg> messages) {
+  BatchTtfSample batch;
+  if (messages.empty()) return batch;
+
+  // --- TTF1: every message's incremental ONRTC diff, in order. --------
+  // per_msg[k] holds message k's raw diff ops so a suffix rollback can
+  // drop them without re-running the kept prefix; priors[k] is the exact
+  // ground-truth route before message k — the rollback token.
+  const auto start = Clock::now();
+  std::vector<std::vector<onrtc::FibOp>> per_msg;
+  std::vector<std::optional<NextHop>> priors;
+  per_msg.reserve(messages.size());
+  priors.reserve(messages.size());
+  for (const auto& message : messages) {
+    priors.push_back(fib_.ground_truth().find(message.prefix));
+    per_msg.push_back(
+        message.kind == workload::UpdateKind::kAnnounce
+            ? fib_.announce(message.prefix, message.next_hop)
+            : fib_.withdraw(message.prefix));
+  }
+  batch.ttf.ttf1_ns = elapsed_ns(start);
+
+  // --- Coalesce + admission with exact suffix rollback. ---------------
+  // The merged ops are the burst's net table transition. If they would
+  // overflow the TCAM, un-apply messages from the end (announce back the
+  // prior route / withdraw the fresh one, in reverse order so each
+  // inversion sees exactly the state its message saw) until the
+  // remaining prefix fits. The committed prefix never touches a chip or
+  // DRed until admission has passed, so the three stay consistent.
+  std::size_t keep = messages.size();
+  std::vector<onrtc::FibOp> raw;
+  std::vector<onrtc::FibOp> merged;
+  CoalesceStats stats;
+  for (;;) {
+    raw.clear();
+    for (std::size_t k = 0; k < keep; ++k) {
+      raw.insert(raw.end(), per_msg[k].begin(), per_msg[k].end());
+    }
+    merged = coalesce_ops(raw, &stats);
+    std::size_t projected = tcam_->size();
+    for (const auto& op : merged) {
+      if (op.kind == onrtc::FibOpKind::kInsert &&
+          !tcam_->chip().slot_of(op.route.prefix)) {
+        ++projected;
+      }
+    }
+    if (projected <= tcam_->chip().capacity() || keep == 0) break;
+    --keep;
+    const auto& message = messages[keep];
+    if (priors[keep]) {
+      fib_.announce(message.prefix, *priors[keep]);
+    } else if (message.kind == workload::UpdateKind::kAnnounce) {
+      fib_.withdraw(message.prefix);
+    }
+    ++updates_rejected_;
+  }
+  batch.applied = keep;
+  batch.rejected = messages.size() - keep;
+  batch.raw_ops = stats.raw_ops;
+  batch.merged_ops = stats.merged_ops;
+
+  // --- TTF2: one TCAM pass over the net ops. --------------------------
+  for (const auto& op : merged) {
+    std::size_t tcam_ops = 0;
+    switch (op.kind) {
+      case onrtc::FibOpKind::kInsert:
+      case onrtc::FibOpKind::kModify:
+        tcam_ops = tcam_->insert(
+            tcam::TcamEntry{op.route.prefix, op.route.next_hop});
+        break;
+      case onrtc::FibOpKind::kDelete:
+        tcam_ops = tcam_->erase(op.route.prefix);
+        break;
+    }
+    batch.ttf.ttf2_ns +=
+        static_cast<double>(tcam_ops) * CostModel::kTcamOpNs;
+  }
+
+  // --- TTF3: one DRed sweep over the net ops. -------------------------
+  for (const auto& op : merged) {
+    switch (op.kind) {
+      case onrtc::FibOpKind::kInsert:
+        break;
+      case onrtc::FibOpKind::kDelete:
+        for (auto& dred : dreds_) dred->erase(op.route.prefix);
+        batch.ttf.ttf3_ns += CostModel::kTcamOpNs;
+        break;
+      case onrtc::FibOpKind::kModify:
+        for (auto& dred : dreds_) {
+          if (dred->contains(op.route.prefix)) dred->insert(op.route);
+        }
+        batch.ttf.ttf3_ns += CostModel::kTcamOpNs;
+        break;
+    }
+  }
+  return batch;
+}
+
 void CluePipeline::warm(const std::vector<Ipv4Address>& addresses) {
+  // warm_cursor_ holds the next round-robin "home" index directly, so
+  // the per-address step is a wrapping increment — no modulo in what is
+  // a 400K-iteration loop on big-table bench setups.
+  std::size_t home = warm_cursor_;
+  const std::size_t dred_count = dreds_.size();
   for (const auto address : addresses) {
     const auto matched = fib_.compressed().lookup_route(address);
     if (!matched) continue;
-    // Round-robin the pretend "home" chip; fill every other DRed.
-    const std::size_t home = warm_cursor_++ % dreds_.size();
-    for (std::size_t i = 0; i < dreds_.size(); ++i) {
-      if (i != home) dreds_[i]->insert(*matched);
+    // Fill every DRed the exclusion rule allows for this home chip.
+    for (std::size_t i = 0; i < dred_count; ++i) {
+      if (engine::dred_may_cache(i, home)) dreds_[i]->insert(*matched);
     }
+    if (++home == dred_count) home = 0;
   }
+  warm_cursor_ = home;
 }
 
 NextHop CluePipeline::lookup(Ipv4Address address) {

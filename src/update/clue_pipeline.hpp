@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "engine/dred.hpp"
@@ -17,6 +18,7 @@
 #include "onrtc/compressed_fib.hpp"
 #include "tcam/updater.hpp"
 #include "update/cost_model.hpp"
+#include "update/group_commit.hpp"
 #include "workload/update_gen.hpp"
 
 namespace clue::update {
@@ -52,6 +54,20 @@ class CluePipeline {
   /// or shed load — the pipeline object stays usable).
   TtfSample apply(const workload::UpdateMsg& message);
 
+  /// Group commit: applies a whole burst as one table transition. All
+  /// trie diffs run first (TTF1), their diff ops are coalesced to the
+  /// burst's net effect (insert+delete pairs cancel, modifies
+  /// last-writer-win), and the TCAM plus DReds are written once per net
+  /// op — TTF2/TTF3 are paid per net change, not per message.
+  ///
+  /// Admission is exact at batch granularity: if the merged ops would
+  /// overflow the TCAM, messages are rolled back from the *end* of the
+  /// batch (trie restored message by message) until the remainder fits;
+  /// the committed prefix stays consistent across trie, TCAM, and DReds,
+  /// and the rejected suffix is counted in `rejected` (and in
+  /// updates_rejected()) instead of throwing.
+  BatchTtfSample apply_batch(std::span<const workload::UpdateMsg> messages);
+
   /// Simulates lookup traffic to populate the DReds the way a running
   /// engine would (each matched region cached in all DReds but one,
   /// round-robin over the "home" chip).
@@ -80,6 +96,7 @@ class CluePipeline {
   onrtc::CompressedFib fib_;
   std::unique_ptr<tcam::ClueUpdater> tcam_;
   std::vector<std::unique_ptr<engine::DredStore>> dreds_;
+  /// Next round-robin "home" chip index for warm(); always < dred count.
   std::size_t warm_cursor_ = 0;
   std::uint64_t updates_rejected_ = 0;
 };

@@ -1,0 +1,104 @@
+#include "update/group_commit.hpp"
+
+#include <unordered_map>
+
+namespace clue::update {
+
+namespace {
+
+using netbase::NextHop;
+using netbase::Prefix;
+using netbase::Route;
+using onrtc::FibOp;
+using onrtc::FibOpKind;
+
+/// Per-prefix fold state: what the table held when the burst first
+/// touched the prefix, and what it holds now.
+struct Fold {
+  Prefix prefix;
+  bool initially_present = false;
+  /// Known only when the first op was a delete (its route carries the
+  /// old hop); a first-op modify leaves it unknown.
+  bool initial_hop_known = false;
+  NextHop initial_hop{};
+  bool present = false;
+  NextHop hop{};
+  /// The old hop the most recent delete op carried, for emitting a net
+  /// delete after a modify-then-delete sequence.
+  NextHop deleted_hop{};
+};
+
+}  // namespace
+
+std::vector<FibOp> coalesce_ops(std::span<const FibOp> raw,
+                                CoalesceStats* stats) {
+  // First-touch order keeps the emitted stream deterministic (and equal
+  // to the raw stream whenever nothing coalesces).
+  std::vector<Fold> folds;
+  folds.reserve(raw.size());
+  std::unordered_map<Prefix, std::size_t> index;
+  index.reserve(raw.size());
+
+  for (const auto& op : raw) {
+    const auto [it, fresh] =
+        index.try_emplace(op.route.prefix, folds.size());
+    if (fresh) {
+      Fold fold;
+      fold.prefix = op.route.prefix;
+      // The first op tells us the initial state: an insert means the
+      // prefix was absent; a delete/modify means it was present.
+      fold.initially_present = op.kind != FibOpKind::kInsert;
+      if (op.kind == FibOpKind::kDelete) {
+        fold.initial_hop_known = true;
+        fold.initial_hop = op.route.next_hop;  // delete carries the old hop
+      }
+      folds.push_back(fold);
+    }
+    Fold& fold = folds[it->second];
+    switch (op.kind) {
+      case FibOpKind::kInsert:
+      case FibOpKind::kModify:
+        fold.present = true;
+        fold.hop = op.route.next_hop;
+        break;
+      case FibOpKind::kDelete:
+        fold.present = false;
+        fold.deleted_hop = op.route.next_hop;
+        break;
+    }
+  }
+
+  std::vector<FibOp> merged;
+  merged.reserve(folds.size());
+  for (const Fold& fold : folds) {
+    if (!fold.initially_present && fold.present) {
+      merged.push_back(
+          FibOp{FibOpKind::kInsert, Route{fold.prefix, fold.hop}});
+    } else if (fold.initially_present && !fold.present) {
+      // Carry whichever old hop we know — consumers erase by prefix and
+      // only report the hop, so either the initial or the last-deleted
+      // value is faithful.
+      const NextHop old_hop =
+          fold.initial_hop_known ? fold.initial_hop : fold.deleted_hop;
+      merged.push_back(
+          FibOp{FibOpKind::kDelete, Route{fold.prefix, old_hop}});
+    } else if (fold.initially_present && fold.present) {
+      // Present throughout: a net modify, unless we can prove the hop
+      // came back to where it started (first op was a delete, so the
+      // initial hop is known).
+      if (!(fold.initial_hop_known && fold.initial_hop == fold.hop)) {
+        merged.push_back(
+            FibOp{FibOpKind::kModify, Route{fold.prefix, fold.hop}});
+      }
+    }
+    // initially absent && finally absent: insert+delete cancelled.
+  }
+
+  if (stats) {
+    stats->raw_ops = raw.size();
+    stats->merged_ops = merged.size();
+  }
+  return merged;
+}
+
+}  // namespace clue::update

@@ -1,0 +1,57 @@
+// Group-commit primitives shared by every batched update path
+// (CluePipeline, ClueSystem, runtime::LookupRuntime).
+//
+// A BGP burst delivers many messages back to back; running each one's
+// ONRTC diff is unavoidable (TTF1), but everything downstream — TCAM
+// writes, flat-chunk rebuilds, epoch publishes, DRed probes — can be
+// paid once per *net* table change instead of once per message. The
+// coalescer folds the concatenated diff-op stream of a burst into its
+// net effect per prefix:
+//
+//   insert then delete   -> nothing (the prefix never really existed)
+//   delete then insert   -> modify (or nothing when the hop returns)
+//   modify then modify   -> last writer wins
+//   insert then modify   -> insert of the final hop
+//   modify then delete   -> delete
+//
+// The fold is exact because ONRTC diff streams are per-prefix state
+// transitions: each op either creates, rewrites, or removes one disjoint
+// region, so the net transition (initial state -> final state) is all
+// the data plane ever needs to install.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "onrtc/compressed_fib.hpp"
+#include "update/cost_model.hpp"
+
+namespace clue::update {
+
+/// How much work coalescing removed from a burst's diff stream.
+struct CoalesceStats {
+  std::size_t raw_ops = 0;     ///< ops before the fold
+  std::size_t merged_ops = 0;  ///< ops actually installed
+
+  std::size_t cancelled() const { return raw_ops - merged_ops; }
+};
+
+/// Folds `raw` (the concatenated, in-order diff ops of a burst) into the
+/// minimal per-prefix net op list, first-touch order preserved. `stats`,
+/// when non-null, receives the before/after op counts.
+std::vector<onrtc::FibOp> coalesce_ops(std::span<const onrtc::FibOp> raw,
+                                       CoalesceStats* stats = nullptr);
+
+/// One burst's end-to-end result: the TTF decomposition of the whole
+/// batch (one group commit, not per message) plus admission and
+/// coalescing accounting.
+struct BatchTtfSample {
+  TtfSample ttf;               ///< stage spans for the whole batch
+  std::size_t applied = 0;     ///< messages committed (batch prefix)
+  std::size_t rejected = 0;    ///< messages rolled back (batch suffix)
+  std::size_t raw_ops = 0;     ///< diff ops before coalescing
+  std::size_t merged_ops = 0;  ///< diff ops actually installed
+};
+
+}  // namespace clue::update
